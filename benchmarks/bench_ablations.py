@@ -1,0 +1,170 @@
+"""ABL-1..5 -- the design-choice ablations from DESIGN.md section 5.
+
+Each prints its comparison rows; the assertions encode the expected
+orderings (which design choice wins, and where it stops winning).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import (
+    ablation_dcsr,
+    ablation_du_vi,
+    ablation_index_width,
+    ablation_placement,
+    ablation_seq_units,
+    ablation_unit_policy,
+)
+
+
+def _print_rows(title, rows):
+    print(f"\n{title}")
+    print(f"{'id':>4} {'variant':<16} {'idx bytes':>10} {'total':>10} "
+          f"{'t(1)':>11} {'t(8)':>11}")
+    for r in rows:
+        print(
+            f"{r.matrix_id:>4} {r.label:<16} {r.index_bytes:>10} "
+            f"{r.total_bytes:>10} {r.time_1t:>11.4e} {r.time_8t:>11.4e}"
+        )
+
+
+def test_ablation_unit_policy(benchmark, bench_config):
+    """ABL-1: greedy unit splitting vs strict class alignment."""
+    rows = benchmark.pedantic(
+        lambda: ablation_unit_policy(bench_config), rounds=1, iterations=1
+    )
+    _print_rows("ABL-1 unit policy", rows)
+    by_key = {(r.matrix_id, r.label): r for r in rows}
+    for mid in {r.matrix_id for r in rows}:
+        greedy = by_key[(mid, "csr-du/greedy")]
+        aligned = by_key[(mid, "csr-du/aligned")]
+        # Greedy's first-delta stealing never loses bytes.
+        assert greedy.index_bytes <= aligned.index_bytes
+
+
+def test_ablation_dcsr(benchmark, bench_config):
+    """ABL-2: DCSR compresses comparably; CSR-DU's coarse dispatch wins
+    on pattern-diverse matrices (Section III-B)."""
+    rows = benchmark.pedantic(
+        lambda: ablation_dcsr(bench_config, ids=(55, 69, 84)),
+        rounds=1,
+        iterations=1,
+    )
+    _print_rows("ABL-2 DCSR vs CSR-DU", rows)
+    by_key = {(r.matrix_id, r.label): r for r in rows}
+    for mid in (55, 69, 84):
+        assert by_key[(mid, "dcsr")].index_bytes < by_key[(mid, "csr")].index_bytes
+    # The diverse matrix (random family) pays the dispatch penalty.
+    assert by_key[(69, "dcsr")].time_1t >= by_key[(69, "csr-du")].time_1t
+
+
+def test_ablation_index_width(benchmark, bench_config):
+    """ABL-3: the 16-bit index trick of Williams et al. [11]."""
+    rows = benchmark.pedantic(
+        lambda: ablation_index_width(bench_config), rounds=1, iterations=1
+    )
+    _print_rows("ABL-3 index width", rows)
+    narrow = [r for r in rows if r.label == "csr/16-bit"]
+    for r in narrow:
+        wide = next(
+            w for w in rows if w.matrix_id == r.matrix_id and w.label == "csr/32-bit"
+        )
+        assert r.index_bytes < wide.index_bytes
+        assert r.time_8t <= wide.time_8t * 1.02  # less traffic never hurts
+
+
+def test_ablation_placement(benchmark, bench_config):
+    """ABL-4: close vs spread (Table II's 2 (1xL2) vs 2 (2xL2) row)."""
+    out = benchmark.pedantic(
+        lambda: ablation_placement(bench_config), rounds=1, iterations=1
+    )
+    print("\nABL-4 placement (seconds)")
+    for (mid, threads, pol), t in sorted(out.items()):
+        print(f"  id={mid} threads={threads} {pol:<7}: {t:.4e}")
+    for mid in {k[0] for k in out}:
+        assert out[(mid, 2, "spread")] <= out[(mid, 2, "close")] * 1.02
+
+
+def test_ablation_du_vi(benchmark, bench_config):
+    """ABL-5: CSR-DU-VI composes both reductions."""
+    rows = benchmark.pedantic(
+        lambda: ablation_du_vi(bench_config), rounds=1, iterations=1
+    )
+    _print_rows("ABL-5 combined format", rows)
+    by_key = {(r.matrix_id, r.label): r for r in rows}
+    for mid in {r.matrix_id for r in rows}:
+        duvi = by_key[(mid, "csr-du-vi")]
+        assert duvi.total_bytes < by_key[(mid, "csr-du")].total_bytes
+        assert duvi.total_bytes < by_key[(mid, "csr-vi")].total_bytes
+        # And the byte win shows up as time at 8 threads.
+        assert duvi.time_8t <= by_key[(mid, "csr")].time_8t
+
+
+def test_ablation_seq_units(benchmark, bench_config):
+    """ABL-6: sequential units on dense-band matrices.
+
+    The wider the band, the longer the constant-delta runs and the
+    bigger the win over per-element u8 deltas."""
+    rows = benchmark.pedantic(
+        lambda: ablation_seq_units(bench_config), rounds=1, iterations=1
+    )
+    _print_rows("ABL-6 sequential units (id = half bandwidth)", rows)
+    by_key = {(r.matrix_id, r.label): r for r in rows}
+    ratios = {}
+    for k in {r.matrix_id for r in rows}:
+        greedy = by_key[(k, "csr-du/greedy")]
+        seq = by_key[(k, "csr-du/seq")]
+        assert seq.index_bytes < greedy.index_bytes
+        assert seq.time_8t <= greedy.time_8t * 1.001
+        ratios[k] = greedy.index_bytes / seq.index_bytes
+    ks = sorted(ratios)
+    assert ratios[ks[-1]] > ratios[ks[0]]  # wider band -> bigger win
+
+
+def test_ablation_frequency(benchmark, bench_config):
+    """ABL-7: the paper's Section VI-D down-clocking experiment.
+
+    Serial compression gains must grow with core frequency (faster
+    cores are more memory-bound, so trading cycles for bytes pays
+    more) -- the paper's explanation for the Woodcrest/Clovertown
+    serial discrepancy."""
+    from repro.bench.experiments import ablation_frequency
+
+    points = benchmark.pedantic(
+        lambda: ablation_frequency(bench_config), rounds=1, iterations=1
+    )
+    print("\nABL-7 serial compressed-vs-CSR ratio by clock")
+    print(f"{'id':>4} {'format':>8} " + " ".join(
+        f"{g:>8.2f}GHz" for g in sorted({p.clock_ghz for p in points})
+    ))
+    clocks = sorted({p.clock_ghz for p in points})
+    for mid in sorted({p.matrix_id for p in points}):
+        for fmt in ("csr-du", "csr-vi"):
+            ratios = [
+                next(
+                    p.serial_ratio_vs_csr
+                    for p in points
+                    if p.matrix_id == mid and p.format_name == fmt and p.clock_ghz == g
+                )
+                for g in clocks
+            ]
+            print(f"{mid:>4} {fmt:>8} " + " ".join(f"{r:>11.3f}" for r in ratios))
+            # The paper's claim: the ratio grows with frequency.
+            assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+
+def test_ablation_rcm(benchmark, bench_config):
+    """ABL-8: RCM reordering composes with CSR-DU.
+
+    Restoring the band shrinks column deltas (better compression) and
+    x locality (less gather traffic) at once."""
+    from repro.bench.experiments import ablation_rcm
+
+    rows = benchmark.pedantic(
+        lambda: ablation_rcm(bench_config), rounds=1, iterations=1
+    )
+    _print_rows("ABL-8 RCM x CSR-DU (id = grid side)", rows)
+    by_label = {r.label: r for r in rows}
+    scrambled = by_label["csr-du/scrambled"]
+    rcm = by_label["csr-du/rcm"]
+    assert rcm.index_bytes < scrambled.index_bytes
+    assert rcm.time_8t < scrambled.time_8t

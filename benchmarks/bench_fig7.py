@@ -1,0 +1,37 @@
+"""EXP-F7 -- regenerate Figure 7 (per-matrix CSR-DU detail).
+
+The paper's figure plots, for every M0 matrix, the CSR-DU speedup over
+*serial CSR* at 1/2/4/8 threads (bars), the plain CSR multithreaded
+speedup (black squares), and the matrix size reduction (text); matrices
+sorted by speedup.  This benchmark prints the same series as a table.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig7
+from repro.bench.report import format_fig_series
+
+from conftest import BENCH_LIMIT
+
+
+def test_fig7_regeneration(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: fig7(bench_config, limit=2 * BENCH_LIMIT), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig_series(result))
+
+    series = result.series
+    assert len(series) == 2 * BENCH_LIMIT
+    # Size reductions sit in the paper's plotted band (roughly 5-35%
+    # of total matrix bytes for index compression).
+    assert all(-0.05 < s.size_reduction < 0.45 for s in series)
+    # For most matrices the 8-thread CSR-DU bar clears the CSR square
+    # (Fig. 7's visual message).
+    wins = sum(
+        1 for s in series if s.compressed_speedups[8] >= s.csr_speedups[8] * 0.98
+    )
+    assert wins >= len(series) * 0.6
+    # Bars grow with threads for the top half (memory-bound matrices).
+    top = series[len(series) // 2 :]
+    assert all(s.compressed_speedups[8] >= s.compressed_speedups[1] for s in top)

@@ -1,0 +1,29 @@
+"""EXP-F8 -- regenerate Figure 8 (per-matrix CSR-VI detail over M0_vi)."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig8
+from repro.bench.report import format_fig_series
+
+from conftest import BENCH_LIMIT
+
+
+def test_fig8_regeneration(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: fig8(bench_config, limit=2 * BENCH_LIMIT), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig_series(result))
+
+    series = result.series
+    # ttu > 5 guarantees genuine value compression for every member.
+    assert all(s.size_reduction > 0.15 for s in series)
+    # The flagship matrices reach the paper's 2x-and-beyond bars.
+    best = series[-1]
+    assert best.compressed_speedups[8] > 1.5 * best.csr_speedups[1]
+    # And CSR-VI's 8-thread bar beats the CSR square for the
+    # memory-bound majority.
+    wins = sum(
+        1 for s in series if s.compressed_speedups[8] >= s.csr_speedups[8] * 0.98
+    )
+    assert wins >= len(series) * 0.6

@@ -1,0 +1,74 @@
+"""Real-clock kernel micro-benchmarks (serial, this host).
+
+These time the actual NumPy kernels -- the honest wall-clock layer of
+the reproduction.  Absolute numbers reflect this container, not the
+paper's Clovertown; they exist to (a) exercise pytest-benchmark on real
+code paths and (b) sanity-check that the *relative compute cost*
+ordering assumed by the cost model (CSR < CSR-VI < CSR-DU-unitwise) is
+real.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import convert
+from repro.kernels.vectorized import (
+    spmv_csr_du_unitwise,
+    spmv_csr_vectorized,
+    spmv_csr_vi_vectorized,
+)
+from repro.matrices.collection import realize
+
+SCALE = 1 / 64
+MATRIX_ID = 69  # ML_vi member: big enough to be interesting
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return realize(MATRIX_ID, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def x(matrix):
+    return np.random.default_rng(0).random(matrix.ncols)
+
+
+def test_spmv_csr(benchmark, matrix, x):
+    csr = convert(matrix, "csr")
+    y = benchmark(lambda: spmv_csr_vectorized(csr, x))
+    assert y.shape == (matrix.nrows,)
+
+
+def test_spmv_csr_vi(benchmark, matrix, x):
+    vi = convert(matrix, "csr-vi")
+    y = benchmark(lambda: spmv_csr_vi_vectorized(vi, x))
+    assert np.allclose(y, matrix.spmv(x))
+
+
+def test_spmv_csr_du_cached(benchmark, matrix, x):
+    du = convert(matrix, "csr-du")
+    du.units  # prime the structural decode, as an iterative solver would
+    y = benchmark(lambda: du.spmv(x))
+    assert np.allclose(y, matrix.spmv(x))
+
+
+def test_spmv_csr_du_unitwise(benchmark, matrix, x):
+    """True decode-on-the-fly: the compute/traffic tradeoff made flesh."""
+    du = convert(matrix, "csr-du")
+    y = benchmark(lambda: spmv_csr_du_unitwise(du, x))
+    assert np.allclose(y, matrix.spmv(x))
+
+
+def test_spmv_csr_du_vi(benchmark, matrix, x):
+    duvi = convert(matrix, "csr-du-vi")
+    duvi.units
+    y = benchmark(lambda: duvi.spmv(x))
+    assert np.allclose(y, matrix.spmv(x))
+
+
+def test_spmv_bcsr(benchmark, matrix, x):
+    bcsr = convert(matrix, "bcsr", r=2, c=2)
+    y = benchmark(lambda: bcsr.spmv(x))
+    assert np.allclose(y, matrix.spmv(x))

@@ -1,0 +1,54 @@
+"""Sensitivity sweeps as benchmarks: the crossover curves behind the
+paper's argument (compression pays because bandwidth is scarce)."""
+
+from __future__ import annotations
+
+from repro.bench.sweep import bandwidth_sweep, cache_sweep, format_sweep_table
+from repro.matrices.collection import realize
+
+from conftest import BENCH_SCALE
+
+
+def test_bandwidth_crossover(benchmark, bench_config):
+    """Scale the memory system: compression's win must shrink as
+    bandwidth grows and vanish when compute binds."""
+    matrix = realize(69, scale=BENCH_SCALE)
+    machine = bench_config.scaled_machine()
+    points = benchmark.pedantic(
+        lambda: bandwidth_sweep(
+            matrix, factors=(0.25, 1.0, 4.0, 16.0, 64.0), machine=machine
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_sweep_table(points))
+    by = {(p.knob_value, p.format_name): p.time_s for p in points}
+    gains = [
+        by[(f, "csr")] / by[(f, "csr-vi")] for f in (0.25, 1.0, 4.0, 16.0, 64.0)
+    ]
+    # Monotone non-increasing advantage.
+    assert all(b <= a + 1e-9 for a, b in zip(gains, gains[1:]))
+    assert gains[0] > 1.2 and gains[-1] < 1.05
+
+
+def test_cache_regime_boundary(benchmark, bench_config):
+    """Scale L2: an ML matrix turns into an MS matrix (the 4xL2 + 1 MB
+    boundary of Section VI-B, observed rather than postulated)."""
+    matrix = realize(69, scale=BENCH_SCALE)
+    machine = bench_config.scaled_machine()
+    points = benchmark.pedantic(
+        lambda: cache_sweep(
+            matrix, factors=(0.25, 1.0, 4.0, 16.0, 64.0), machine=machine
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_sweep_table(points))
+    ordered = sorted(points, key=lambda p: p.knob_value)
+    times = [p.time_s for p in ordered]
+    assert all(b <= a + 1e-15 for a, b in zip(times, times[1:]))
+    # The largest cache ends compute/L2-bound, not DRAM-bound.
+    assert ordered[-1].bound in ("compute", "core-bw", "l2-bw")
+    assert ordered[0].bound in ("mem", "fsb", "die-bw", "core-bw")

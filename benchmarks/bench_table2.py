@@ -1,0 +1,37 @@
+"""EXP-T2 -- regenerate Table II (CSR serial MFLOPS + speedups).
+
+Run with::
+
+    pytest benchmarks/bench_table2.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table2
+from repro.bench.report import format_table2
+
+from conftest import BENCH_LIMIT
+
+
+def test_table2_regeneration(benchmark, bench_config):
+    """Times the full Table II pipeline and prints the table."""
+    result = benchmark.pedantic(
+        lambda: table2(bench_config, limit=BENCH_LIMIT), rounds=1, iterations=1
+    )
+    print()
+    print(format_table2(result))
+
+    # Reproduction gates (shape, not absolute numbers):
+    # serial CSR in the paper's few-hundred-MFLOPS band,
+    serial_m0 = result.serial_mflops["M0"][0]
+    assert 250 < serial_m0 < 1100
+    # cacheable matrices scale much better than memory-bound ones,
+    sp8 = result.speedups[(8, "close")]
+    assert sp8["MS"][0] > 1.5 * sp8["ML"][0]
+    # memory-bound 8-thread scaling sits near the paper's ~2.1x,
+    assert 1.2 < sp8["ML"][0] < 3.2
+    # and separate-L2 beats shared-L2 at 2 threads on average.
+    assert (
+        result.speedups[(2, "spread")]["MS"][0]
+        > result.speedups[(2, "close")]["MS"][0]
+    )

@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Benchmarks run the paper's experiments at ``BENCH_SCALE`` (matrices and
+machine caches shrunk together, preserving every matrix's MS/ML class
+-- see DESIGN.md), with ``BENCH_LIMIT`` matrices per set so the whole
+suite stays in CI territory.  The full-size runs are one command away:
+
+    python -m repro.bench all --scale 1.0
+
+Each table/figure benchmark prints the regenerated table (with the
+paper's published numbers interleaved) so `pytest benchmarks/
+--benchmark-only -s` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig
+
+#: 1/32 of the paper's working-set sizes; ML stays memory bound, MS
+#: stays cacheable, because the machine model's caches shrink too.
+BENCH_SCALE = 1 / 32
+
+#: Matrices per set (MS / ML / *_vi) in the reduced runs.
+BENCH_LIMIT = 6
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> ExperimentConfig:
+    """Even smaller, for per-matrix micro benchmarks."""
+    return ExperimentConfig(scale=1 / 64)

@@ -1,0 +1,72 @@
+"""Survey the catalog: which compression wins on which matrix class?
+
+Walks a sample of the 100-matrix catalog, computes each matrix's
+statistics (working set, ttu, delta-width profile) and every format's
+size, and prints a per-family summary -- the data behind the paper's
+set definitions (M0 / ML / MS, the ttu > 5 rule) and behind CSR-DU's
+sensitivity to column-delta locality.
+
+Run:  python examples/format_explorer.py [scale]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro import convert
+from repro.matrices.collection import M0_IDS, entry, realize
+from repro.matrices.stats import compute_stats
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1 / 32
+    sample = M0_IDS[::6]  # every 6th M0 matrix
+
+    print(
+        f"{'matrix':<22} {'ws MB':>7} {'ttu':>7} {'u8%':>5} "
+        f"{'du idx':>7} {'vi val':>7} {'duvi':>7}   set"
+    )
+    by_family = defaultdict(list)
+    for mid in sample:
+        ent = entry(mid)
+        m = realize(mid, scale=scale)
+        s = compute_stats(m)
+        csr = convert(m, "csr")
+        du_ratio = (
+            convert(m, "csr-du").storage().index_bytes
+            / csr.storage().index_bytes
+        )
+        vi_ratio = (
+            convert(m, "csr-vi").storage().value_bytes
+            / csr.storage().value_bytes
+        )
+        duvi_ratio = (
+            convert(m, "csr-du-vi").storage().total_bytes
+            / csr.storage().total_bytes
+        )
+        klass = "ML" if ent.in_ml else "MS"
+        if ent.in_m0_vi:
+            klass += "_vi"
+        print(
+            f"{ent.name:<22} {s.ws_mb:>7.2f} {s.ttu:>7.1f} "
+            f"{100 * s.delta_u8_frac:>4.0f}% {du_ratio:>6.2f}x {vi_ratio:>6.2f}x "
+            f"{duvi_ratio:>6.2f}x   {klass}"
+        )
+        by_family[ent.family].append((du_ratio, vi_ratio))
+
+    print("\nPer-family averages (lower = better compression):")
+    print(f"{'family':<14} {'du index ratio':>15} {'vi value ratio':>15}")
+    for family, rows in sorted(by_family.items()):
+        du = sum(r[0] for r in rows) / len(rows)
+        vi = sum(r[1] for r in rows) / len(rows)
+        print(f"{family:<14} {du:>14.2f}x {vi:>14.2f}x")
+
+    print(
+        "\nReading: stencils/banded matrices (tiny column deltas) give "
+        "CSR-DU its ~4x index shrink; value redundancy (ttu) is what "
+        "CSR-VI needs and is orthogonal to structure -- the reason the "
+        "paper treats the two compressions as independent levers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``.
+
+Regenerates any paper table/figure or ablation at a chosen scale::
+
+    python -m repro.bench table2 --scale 0.0625
+    python -m repro.bench table3 table4 --scale 1.0
+    python -m repro.bench fig7 --limit 20
+    python -m repro.bench all --scale 0.0625 --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments as exp
+from repro.bench.harness import ExperimentConfig
+from repro.bench.report import (
+    format_fig_series,
+    format_speedup_table,
+    format_table2,
+)
+
+_EXPERIMENTS = ("table2", "table3", "table4", "fig7", "fig8", "ablations")
+
+
+def _run_one(
+    name: str, config: ExperimentConfig, limit: int | None
+) -> tuple[str, object | None]:
+    """Run one experiment; return (rendered text, structured result)."""
+    if name == "table2":
+        result = exp.table2(config, limit=limit)
+        return format_table2(result), result
+    if name == "table3":
+        result = exp.table3(config, limit=limit)
+        return format_speedup_table(result), result
+    if name == "table4":
+        result = exp.table4(config, limit=limit)
+        return format_speedup_table(result), result
+    if name == "fig7":
+        result = exp.fig7(config, limit=limit)
+        return format_fig_series(result), result
+    if name == "fig8":
+        result = exp.fig8(config, limit=limit)
+        return format_fig_series(result), result
+    if name == "ablations":
+        chunks = []
+        for title, rows in (
+            ("ABL-1 unit policy", exp.ablation_unit_policy(config)),
+            ("ABL-2 DCSR vs CSR-DU", exp.ablation_dcsr(config)),
+            ("ABL-3 index width", exp.ablation_index_width(config)),
+            ("ABL-5 CSR-DU-VI", exp.ablation_du_vi(config)),
+            ("ABL-6 sequential units", exp.ablation_seq_units(config)),
+            ("ABL-8 RCM reordering x CSR-DU", exp.ablation_rcm(config)),
+        ):
+            chunks.append(title)
+            chunks.append(
+                f"{'id':>4} {'variant':<14} {'idx bytes':>10} {'total':>10} "
+                f"{'t(1)':>10} {'t(8)':>10}"
+            )
+            for r in rows:
+                chunks.append(
+                    f"{r.matrix_id:>4} {r.label:<14} {r.index_bytes:>10} "
+                    f"{r.total_bytes:>10} {r.time_1t:>10.3e} {r.time_8t:>10.3e}"
+                )
+            chunks.append("")
+        placement = exp.ablation_placement(config)
+        chunks.append("ABL-4 placement (seconds)")
+        for (mid, threads, pol), t in sorted(placement.items()):
+            chunks.append(f"  id={mid} threads={threads} {pol:<7}: {t:.3e}")
+        chunks.append("")
+        chunks.append("ABL-7 serial compressed-vs-CSR ratio by clock")
+        for p in exp.ablation_frequency(config):
+            chunks.append(
+                f"  id={p.matrix_id} {p.clock_ghz:4.2f} GHz "
+                f"{p.format_name:<8}: {p.serial_ratio_vs_csr:.3f}"
+            )
+        return "\n".join(chunks), None
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures on the machine model.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiments to run: {', '.join(_EXPERIMENTS)}, or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="working-set scale (matrices and caches shrink together); 1.0 = paper size",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap the number of matrices per set (deterministic subset)",
+    )
+    parser.add_argument("--out", type=str, default=None, help="also write to a file")
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="record structured results (with machine/cost-model context) as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if "all" in names:
+        names = list(_EXPERIMENTS)
+    config = ExperimentConfig(scale=args.scale)
+    blocks = []
+    structured: dict[str, object] = {}
+    for name in names:
+        start = time.perf_counter()
+        text, result = _run_one(name, config, args.limit)
+        elapsed = time.perf_counter() - start
+        blocks.append(f"=== {name} (scale={args.scale:g}, {elapsed:.1f}s) ===\n{text}\n")
+        if args.json and result is not None:
+            structured[name] = result
+    output = "\n".join(blocks)
+    print(output)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(output)
+    if args.json and structured:
+        from repro.bench.record import record_run
+
+        record_run(structured, config, args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Compare two recorded experiment runs (JSON diff with tolerances).
+
+Model changes (recalibration, new traffic terms) shift every predicted
+number; this tool answers "by how much, and where" mechanically:
+
+    python -m repro.bench.compare old.json new.json --tolerance 0.02
+
+walks both bundles, pairs numeric leaves by path, and reports relative
+deviations -- exit status 1 when any leaf moved more than the
+tolerance, so it slots into CI as a golden-results check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+from repro.bench.record import load_run
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One numeric leaf that differs between the runs."""
+
+    path: str
+    old: float
+    new: float
+
+    @property
+    def relative(self) -> float:
+        denom = max(abs(self.old), abs(self.new), 1e-300)
+        return abs(self.new - self.old) / denom
+
+
+def _walk(value, path, out):
+    if isinstance(value, dict):
+        for k, v in value.items():
+            _walk(v, f"{path}.{k}" if path else str(k), out)
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            _walk(v, f"{path}[{i}]", out)
+    elif isinstance(value, bool):
+        out[path] = float(value)
+    elif isinstance(value, (int, float)):
+        out[path] = float(value)
+
+
+def compare_runs(old: dict, new: dict) -> tuple[list[Deviation], list[str]]:
+    """Pair numeric leaves of two bundles.
+
+    Returns ``(deviations, structure_mismatches)`` -- paths present in
+    only one run go into the second list.
+    """
+    old_leaves: dict[str, float] = {}
+    new_leaves: dict[str, float] = {}
+    _walk(old.get("experiments", {}), "", old_leaves)
+    _walk(new.get("experiments", {}), "", new_leaves)
+    mismatches = sorted(
+        set(old_leaves) ^ set(new_leaves)
+    )
+    deviations = [
+        Deviation(path=p, old=old_leaves[p], new=new_leaves[p])
+        for p in sorted(set(old_leaves) & set(new_leaves))
+    ]
+    return deviations, mismatches
+
+
+def format_comparison(
+    deviations: list[Deviation],
+    mismatches: list[str],
+    *,
+    tolerance: float = 0.0,
+    top: int = 15,
+) -> str:
+    """Human-readable summary, worst deviations first."""
+    lines = []
+    moved = [d for d in deviations if d.relative > tolerance]
+    lines.append(
+        f"{len(deviations)} shared numeric results; "
+        f"{len(moved)} moved beyond {tolerance:.1%}; "
+        f"{len(mismatches)} structural mismatches"
+    )
+    for d in sorted(moved, key=lambda d: -d.relative)[:top]:
+        lines.append(
+            f"  {d.relative:8.2%}  {d.path}: {d.old:.6g} -> {d.new:.6g}"
+        )
+    for p in mismatches[:top]:
+        lines.append(f"  only in one run: {p}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Diff two recorded experiment runs.",
+    )
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="maximum accepted relative deviation per result (default 1%%)",
+    )
+    args = parser.parse_args(argv)
+    deviations, mismatches = compare_runs(load_run(args.old), load_run(args.new))
+    print(format_comparison(deviations, mismatches, tolerance=args.tolerance))
+    worst = max((d.relative for d in deviations), default=0.0)
+    return 1 if (worst > args.tolerance or mismatches) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

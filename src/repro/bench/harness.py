@@ -1,0 +1,183 @@
+"""Experiment runner: (matrix id, format, threads, placement) -> results.
+
+Two clocks exist:
+
+* ``"model"`` (default) -- the machine model of :mod:`repro.machine`,
+  used for every paper table/figure (this container cannot exhibit
+  multicore bandwidth contention; see DESIGN.md section 3);
+* ``"real"`` -- wall-clock timing of the vectorized kernels via
+  :func:`repro.util.timing.measure` (the paper's 128-iteration
+  protocol), available for serial sanity checks.
+
+The runner realizes each catalog matrix once per configuration, converts
+it to each requested format once, and fans out over thread counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.formats.base import SparseMatrix, Storage
+from repro.formats.conversions import convert
+from repro.machine.costmodel import CostModel, default_cost_model
+from repro.machine.simulate import simulate_spmv
+from repro.machine.topology import MachineSpec, clovertown_8core
+from repro.matrices.collection import realize
+from repro.util.timing import measure
+
+#: The paper's thread configurations for Table II: thread count plus
+#: placement.  ``2 (1xL2)`` is close (shared L2), ``2 (2xL2)`` spread.
+TABLE2_CONFIGS: tuple[tuple[int, str], ...] = (
+    (1, "close"),
+    (2, "close"),
+    (2, "spread"),
+    (4, "close"),
+    (8, "close"),
+)
+
+#: Tables III/IV use close placement throughout.
+SPEEDUP_THREADS: tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for an experiment run.
+
+    ``scale`` shrinks both the matrices and the machine's caches (see
+    ``MachineSpec.scaled``), keeping every matrix in its paper set; 1.0
+    is the paper-size run, benchmarks default to a fraction.
+    """
+
+    scale: float = 1.0
+    machine: MachineSpec = field(default_factory=clovertown_8core)
+    cost_model: CostModel = field(default_factory=default_cost_model)
+    clock: str = "model"
+    real_calls: int = 16
+
+    def scaled_machine(self) -> MachineSpec:
+        return self.machine if self.scale == 1.0 else self.machine.scaled(self.scale)
+
+
+@dataclass(frozen=True)
+class MatrixResult:
+    """All measurements for one (matrix, format) pair."""
+
+    matrix_id: int
+    format_name: str
+    storage: Storage
+    csr_storage: Storage
+    times: dict[tuple[int, str], float]  # (threads, placement) -> seconds
+    mflops: dict[tuple[int, str], float]
+    bounds: dict[tuple[int, str], str]
+
+    @property
+    def size_reduction(self) -> float:
+        """Fractional size reduction vs CSR (paper's Figs 7/8 label)."""
+        csr_total = self.csr_storage.total_bytes
+        return 1.0 - self.storage.total_bytes / csr_total if csr_total else 0.0
+
+    def speedup_vs(self, other: "MatrixResult", key: tuple[int, str]) -> float:
+        """This result's speedup over *other* at the same configuration."""
+        return other.times[key] / self.times[key]
+
+    def scaling(self, key: tuple[int, str]) -> float:
+        """Speedup over this format's own serial time."""
+        return self.times[(1, "close")] / self.times[key]
+
+
+def run_format_matrix(
+    matrix: SparseMatrix,
+    format_name: str,
+    config: ExperimentConfig,
+    *,
+    matrix_id: int = -1,
+    configs: tuple[tuple[int, str], ...] = TABLE2_CONFIGS,
+    **format_kwargs,
+) -> MatrixResult:
+    """Measure one matrix in one format across thread configurations."""
+    converted = convert(matrix, format_name, **format_kwargs)
+    machine = config.scaled_machine()
+    times: dict[tuple[int, str], float] = {}
+    mflops: dict[tuple[int, str], float] = {}
+    bounds: dict[tuple[int, str], str] = {}
+    for threads, placement in configs:
+        key = (threads, placement)
+        if config.clock == "model":
+            res = simulate_spmv(
+                converted,
+                threads,
+                machine,
+                placement=placement,
+                cost_model=config.cost_model,
+            )
+            times[key] = res.time_s
+            mflops[key] = res.mflops
+            bounds[key] = res.bound
+        elif config.clock == "real":
+            if threads != 1:
+                raise ReproError(
+                    "the real clock only supports serial runs on this host "
+                    "(single CPU); use the model clock for scaling studies"
+                )
+            import numpy as np
+
+            rng = np.random.default_rng(0)
+            x = rng.random(converted.ncols)
+            converted.spmv(x)  # warm caches / decode caches
+            m = measure(lambda: converted.spmv(x), calls=config.real_calls, repeats=3)
+            times[key] = m.per_call
+            mflops[key] = 2 * converted.nnz / m.per_call / 1e6
+            bounds[key] = "wallclock"
+        else:
+            raise ReproError(f"unknown clock {config.clock!r}")
+    return MatrixResult(
+        matrix_id=matrix_id,
+        format_name=format_name,
+        storage=converted.storage(),
+        csr_storage=convert(matrix, "csr").storage(),
+        times=times,
+        mflops=mflops,
+        bounds=bounds,
+    )
+
+
+def run_set(
+    ids: tuple[int, ...],
+    formats: tuple[str, ...],
+    config: ExperimentConfig,
+    *,
+    configs: tuple[tuple[int, str], ...] = TABLE2_CONFIGS,
+) -> dict[int, dict[str, MatrixResult]]:
+    """Run every matrix in *ids* through every format.
+
+    Returns ``{matrix_id: {format_name: MatrixResult}}``.  Matrices are
+    realized (and freed) one at a time: the full-scale catalog would
+    not fit in memory all at once.
+    """
+    out: dict[int, dict[str, MatrixResult]] = {}
+    for mid in ids:
+        matrix = realize(mid, scale=config.scale)
+        per_fmt: dict[str, MatrixResult] = {}
+        for fmt in formats:
+            per_fmt[fmt] = run_format_matrix(
+                matrix, fmt, config, matrix_id=mid, configs=configs
+            )
+        out[mid] = per_fmt
+    return out
+
+
+def aggregate(values: list[float]) -> tuple[float, float, float]:
+    """(avg, max, min) with the paper's presentation conventions."""
+    if not values:
+        raise ReproError("nothing to aggregate")
+    return (
+        sum(values) / len(values),
+        max(values),
+        min(values),
+    )
+
+
+def count_slowdowns(values: list[float], threshold: float = 0.98) -> int:
+    """The paper's '< 0.98' column: non-negligible slowdowns."""
+    return sum(1 for v in values if v < threshold)

@@ -1,0 +1,143 @@
+"""Plain-text rendering of experiment results, in the paper's layout.
+
+The formatters take the result dataclasses of
+:mod:`repro.bench.experiments` and emit aligned ASCII tables whose rows
+and columns match the paper's Tables II-IV and the per-matrix series of
+Figs. 7-8, optionally with the paper's published values interleaved for
+comparison (EXPERIMENTS.md is generated this way).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import FigResult, SpeedupTableResult, Table2Result
+
+#: The paper's Table II, for side-by-side reporting:
+#: {config: {set: (avg, max, min)}}; serial row in MFLOPS, others x.
+PAPER_TABLE2 = {
+    "serial": {
+        "MS": (619.4, 886.6, 465.2),
+        "ML": (477.8, 594.4, 202.4),
+        "M0": (523.6, None, None),
+    },
+    (2, "close"): {"MS": (1.17, 1.62, 0.90), "ML": (1.15, 1.40, 1.07), "M0": (1.16, None, None)},
+    (2, "spread"): {"MS": (1.93, 2.59, 1.24), "ML": (1.24, 1.47, 1.09), "M0": (1.46, None, None)},
+    (4, "close"): {"MS": (2.63, 4.32, 1.54), "ML": (1.28, 1.73, 1.12), "M0": (1.72, None, None)},
+    (8, "close"): {"MS": (6.19, 8.71, 2.12), "ML": (2.12, 6.30, 1.58), "M0": (3.44, None, None)},
+}
+
+#: Paper Table III (CSR-DU vs CSR): {threads: {set: (avg, max, min, n<0.98)}}.
+PAPER_TABLE3 = {
+    1: {"MS": (1.02, 1.12, 0.80, 5), "ML": (1.01, 1.14, 0.69, 17), "M0": (1.01,)},
+    2: {"MS": (1.24, 1.49, 1.06, 0), "ML": (1.10, 1.19, 0.90, 2), "M0": (1.15,)},
+    4: {"MS": (1.24, 1.89, 0.81, 4), "ML": (1.15, 1.36, 0.99, 0), "M0": (1.18,)},
+    8: {"MS": (1.05, 1.40, 0.86, 8), "ML": (1.20, 1.82, 0.99, 0), "M0": (1.15,)},
+}
+
+#: Paper Table IV (CSR-VI vs CSR) over the vi sets.
+PAPER_TABLE4 = {
+    1: {"MS_vi": (1.03, 1.17, 0.94, 2), "ML_vi": (1.12, 1.54, 0.65, 7), "M0_vi": (1.10,)},
+    2: {"MS_vi": (1.30, 1.56, 0.99, 0), "ML_vi": (1.36, 2.07, 0.80, 3), "M0_vi": (1.35,)},
+    4: {"MS_vi": (1.25, 2.04, 0.96, 1), "ML_vi": (1.55, 2.16, 1.00, 0), "M0_vi": (1.47,)},
+    8: {"MS_vi": (1.02, 1.15, 0.92, 3), "ML_vi": (1.59, 2.50, 0.99, 0), "M0_vi": (1.44,)},
+}
+
+_CONFIG_LABELS = {
+    (1, "close"): "1",
+    (2, "close"): "2 (1xL2)",
+    (2, "spread"): "2 (2xL2)",
+    (4, "close"): "4",
+    (8, "close"): "8",
+}
+
+
+def _fmt3(triple, mflops: bool = False) -> str:
+    fmt = "{:7.1f}" if mflops else "{:5.2f}"
+    return " ".join(fmt.format(v) for v in triple)
+
+
+def format_table2(result: Table2Result, *, with_paper: bool = True) -> str:
+    """Render Table II: serial MFLOPS, then speedups per configuration."""
+    lines = []
+    lines.append("Table II: CSR SpMxV performance (model clock)")
+    lines.append(f"{'core(s)':<10} | {'MS avg/max/min':>23} | {'ML avg/max/min':>23} | {'M0 avg':>7}")
+    lines.append("-" * 74)
+    row = (
+        f"{'1':<10} | {_fmt3(result.serial_mflops['MS'], True):>23} | "
+        f"{_fmt3(result.serial_mflops['ML'], True):>23} | "
+        f"{result.serial_mflops['M0'][0]:7.1f}"
+    )
+    lines.append(row + "   [MFLOPS]")
+    if with_paper:
+        p = PAPER_TABLE2["serial"]
+        lines.append(
+            f"{'  paper':<10} | {_fmt3(p['MS'], True):>23} | {_fmt3(p['ML'], True):>23} | {p['M0'][0]:7.1f}"
+        )
+    for key, per_set in result.speedups.items():
+        lines.append(
+            f"{_CONFIG_LABELS[key]:<10} | {_fmt3(per_set['MS']):>23} | "
+            f"{_fmt3(per_set['ML']):>23} | {per_set['M0'][0]:7.2f}"
+        )
+        if with_paper and key in PAPER_TABLE2:
+            p = PAPER_TABLE2[key]
+            lines.append(
+                f"{'  paper':<10} | {_fmt3(p['MS']):>23} | {_fmt3(p['ML']):>23} | {p['M0'][0]:7.2f}"
+            )
+    return "\n".join(lines)
+
+
+def format_speedup_table(
+    result: SpeedupTableResult, *, with_paper: bool = True
+) -> str:
+    """Render Table III / IV: per-thread-count speedups vs CSR."""
+    paper = PAPER_TABLE3 if result.format_name == "csr-du" else PAPER_TABLE4
+    set_names = list(next(iter(result.rows.values())).keys())
+    title = "Table III" if result.format_name == "csr-du" else "Table IV"
+    lines = [
+        f"{title}: {result.format_name} vs CSR at equal thread count (model clock)"
+    ]
+    header = f"{'core(s)':<10}"
+    for name in set_names:
+        header += f" | {name + ' avg/max/min/<0.98':>28}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for threads, per_set in result.rows.items():
+        row = f"{threads:<10}"
+        for name in set_names:
+            avg, mx, mn, slow = per_set[name]
+            row += f" | {avg:5.2f} {mx:5.2f} {mn:5.2f}  {slow:4d}"
+        lines.append(row)
+        if with_paper and threads in paper:
+            prow = f"{'  paper':<10}"
+            for name in set_names:
+                vals = paper[threads].get(name)
+                if vals is None or len(vals) < 4:
+                    prow += f" | {'(avg ' + format(vals[0], '.2f') + ')':>28}" if vals else " " * 31
+                else:
+                    prow += f" | {vals[0]:5.2f} {vals[1]:5.2f} {vals[2]:5.2f}  {vals[3]:4d}"
+            lines.append(prow)
+    return "\n".join(lines)
+
+
+def format_fig_series(result: FigResult, *, max_rows: int | None = None) -> str:
+    """Render Fig. 7/8 as a table: one row per matrix, sorted by speedup."""
+    fig = "Figure 7" if result.format_name == "csr-du" else "Figure 8"
+    lines = [
+        f"{fig}: per-matrix {result.format_name} speedup vs serial CSR "
+        f"(bars) and CSR multithreaded speedup (squares)"
+    ]
+    lines.append(
+        f"{'matrix':<24} {'redu%':>6} | "
+        + " ".join(f"{'t=' + str(t):>7}" for t in (1, 2, 4, 8))
+        + " | "
+        + " ".join(f"{'csr' + str(t):>7}" for t in (2, 4, 8))
+    )
+    lines.append("-" * 92)
+    series = result.series[:max_rows] if max_rows else result.series
+    for s in series:
+        lines.append(
+            f"{s.name:<24} {100 * s.size_reduction:6.1f} | "
+            + " ".join(f"{s.compressed_speedups[t]:7.2f}" for t in (1, 2, 4, 8))
+            + " | "
+            + " ".join(f"{s.csr_speedups[t]:7.2f}" for t in (2, 4, 8))
+        )
+    return "\n".join(lines)

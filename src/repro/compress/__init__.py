@@ -1,0 +1,39 @@
+"""Compression substrates: delta/unit encoding (CSR-DU) and value indexing (CSR-VI)."""
+
+from repro.compress.delta import (
+    Unit,
+    column_deltas,
+    split_row_units,
+    unitize,
+)
+from repro.compress.ctl import (
+    CtlReader,
+    CtlWriter,
+    DecodedUnits,
+    FLAG_NR,
+    FLAG_RJMP,
+    decode_units,
+)
+from repro.compress.unique import (
+    UniqueValues,
+    index_dtype_for,
+    total_to_unique_ratio,
+    unique_index_values,
+)
+
+__all__ = [
+    "Unit",
+    "column_deltas",
+    "split_row_units",
+    "unitize",
+    "CtlReader",
+    "CtlWriter",
+    "DecodedUnits",
+    "FLAG_NR",
+    "FLAG_RJMP",
+    "decode_units",
+    "UniqueValues",
+    "index_dtype_for",
+    "total_to_unique_ratio",
+    "unique_index_values",
+]

@@ -1,0 +1,255 @@
+"""The CSR-DU ``ctl`` byte stream (serializer / deserializer).
+
+Wire layout per unit (Section IV, Table I of the paper)::
+
+    +--------+-------+----------------+----------------+-----------------------+
+    | uflags | usize | [rjmp: varint] | ujmp: varint   | ucis: (usize-1)*width |
+    +--------+-------+----------------+----------------+-----------------------+
+
+``uflags`` bit layout:
+
+* bits 0-1: width class of the ``ucis`` deltas (0 -> u8 ... 3 -> u64);
+* bit 6 (``FLAG_NR``): the unit opens a new row;
+* bit 5 (``FLAG_RJMP``): the new row is more than one row below the
+  previous one; the extra advance (``row_jump - 1``) follows as a varint.
+  This is our extension for matrices with empty rows -- the paper's
+  scheme implicitly assumes none (its evaluation matrices have none) and
+  degenerates to it when the flag is never set;
+* bit 4 (``FLAG_SEQ``): a *sequential* unit -- instead of ``ucis``, a
+  single varint stride follows ``ujmp`` and all ``usize - 1`` deltas
+  equal it (the ``"seq"`` encoder policy's extension; see
+  :mod:`repro.compress.delta`).
+
+The decoder starts at row ``-1`` so the very first unit's NR flag
+advances to row 0, exactly as the paper's Fig. 3 kernel does
+(``y_indx++`` on NR with ``y_indx`` initialized before row 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.compress.delta import Unit
+from repro.errors import EncodingError
+from repro.util.bitops import (
+    WIDTH_BYTES,
+    decode_varint,
+    encode_varint,
+    pack_fixed,
+    unpack_fixed,
+    varint_size,
+)
+
+FLAG_NR = 0x40
+FLAG_RJMP = 0x20
+FLAG_SEQ = 0x10
+_CLASS_MASK = 0x03
+_KNOWN_MASK = _CLASS_MASK | FLAG_NR | FLAG_RJMP | FLAG_SEQ
+
+
+class CtlWriter:
+    """Accumulates units into a ctl byte stream."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self.nunits = 0
+
+    def append(self, unit: Unit) -> None:
+        """Serialize one :class:`~repro.compress.delta.Unit`."""
+        usize = unit.usize
+        if not 1 <= usize <= 255:
+            raise EncodingError(f"unit size {usize} out of [1, 255]")
+        flags = unit.cls & _CLASS_MASK
+        if unit.new_row:
+            flags |= FLAG_NR
+            if unit.row_jump > 1:
+                flags |= FLAG_RJMP
+        elif unit.row_jump != 1:
+            raise EncodingError("row_jump > 1 requires new_row")
+        if unit.seq:
+            if unit.deltas.size and np.any(unit.deltas != unit.deltas[0]):
+                raise EncodingError("sequential unit requires constant deltas")
+            flags |= FLAG_SEQ
+        self._buf.append(flags)
+        self._buf.append(usize)
+        if flags & FLAG_RJMP:
+            encode_varint(unit.row_jump - 1, self._buf)
+        encode_varint(unit.ujmp, self._buf)
+        if unit.seq:
+            encode_varint(unit.stride, self._buf)
+        elif unit.deltas.size:
+            self._buf += pack_fixed(unit.deltas, unit.cls)
+        self.nunits += 1
+
+    def getvalue(self) -> bytes:
+        """The finished stream as an immutable byte string."""
+        return bytes(self._buf)
+
+
+class CtlReader:
+    """Iterates the units of a ctl stream.
+
+    The reader tracks the current row itself (from NR/RJMP flags), so
+    the yielded :class:`~repro.compress.delta.Unit` objects carry
+    absolute row numbers.
+    """
+
+    def __init__(self, ctl: bytes) -> None:
+        self._ctl = ctl
+
+    def __iter__(self) -> Iterator[Unit]:
+        ctl = self._ctl
+        pos = 0
+        n = len(ctl)
+        row = -1
+        while pos < n:
+            if pos + 2 > n:
+                raise EncodingError("truncated unit header")
+            flags = ctl[pos]
+            usize = ctl[pos + 1]
+            pos += 2
+            if flags & ~_KNOWN_MASK:
+                raise EncodingError(f"unknown flag bits 0x{flags & ~_KNOWN_MASK:02x}")
+            if usize == 0:
+                raise EncodingError("unit size 0 is invalid")
+            cls = flags & _CLASS_MASK
+            new_row = bool(flags & FLAG_NR)
+            jump = 1
+            if flags & FLAG_RJMP:
+                if not new_row:
+                    raise EncodingError("RJMP flag without NR")
+                extra, pos = decode_varint(ctl, pos)
+                jump += extra
+            ujmp, pos = decode_varint(ctl, pos)
+            if new_row:
+                row += jump
+            elif row < 0:
+                raise EncodingError("stream does not start with a new-row unit")
+            seq = bool(flags & FLAG_SEQ)
+            if seq:
+                stride, pos = decode_varint(ctl, pos)
+                deltas = np.full(usize - 1, stride, dtype=np.int64)
+            else:
+                deltas, pos = unpack_fixed(ctl, usize - 1, cls, pos)
+            yield Unit(
+                row=row,
+                new_row=new_row,
+                row_jump=jump,
+                ujmp=ujmp,
+                deltas=deltas.astype(np.int64),
+                cls=cls,
+                seq=seq,
+            )
+
+
+@dataclass(frozen=True)
+class DecodedUnits:
+    """Structure-of-arrays view of a whole ctl stream.
+
+    Produced once by :func:`decode_units` and consumed by the vectorized
+    CSR-DU kernels and by the machine model's traffic accounting.
+
+    Attributes
+    ----------
+    rows:
+        Row of each unit.
+    sizes:
+        ``usize`` of each unit.
+    classes:
+        Width class of each unit.
+    offsets:
+        CSR-style offsets into ``columns`` per unit (``nunits + 1``).
+    columns:
+        Absolute column indices of every nonzero, unit-concatenated --
+        i.e. the fully decoded ``col_ind``.
+    new_row:
+        Boolean mask of first-of-row units.
+    seq:
+        Boolean mask of sequential (constant-stride) units.
+    ctl_offsets:
+        Byte offset of each unit in the ctl stream (``nunits + 1``
+        entries, last is the stream length) -- this is exactly the
+        per-thread ctl offset the paper's multithreaded CSR-DU needs
+        (Section IV, last paragraph), and the traffic model's source of
+        exact per-thread byte counts.
+    """
+
+    rows: np.ndarray
+    sizes: np.ndarray
+    classes: np.ndarray
+    offsets: np.ndarray
+    columns: np.ndarray
+    new_row: np.ndarray
+    ctl_offsets: np.ndarray
+    seq: np.ndarray
+
+    @property
+    def nunits(self) -> int:
+        return self.rows.size
+
+
+def decode_units(ctl: bytes, nnz: int) -> DecodedUnits:
+    """Decode a full ctl stream into a :class:`DecodedUnits` bundle.
+
+    ``nnz`` is the expected nonzero count; a mismatch raises
+    :class:`~repro.errors.EncodingError` (it means the stream was built
+    for a different matrix).
+    """
+    rows: list[int] = []
+    sizes: list[int] = []
+    classes: list[int] = []
+    new_row: list[bool] = []
+    seq: list[bool] = []
+    col_chunks: list[np.ndarray] = []
+    ctl_offsets: list[int] = [0]
+    col = 0
+    total = 0
+    pos = 0
+    for unit in CtlReader(ctl):
+        if unit.new_row:
+            col = 0
+        cols = unit.columns(col)
+        col = int(cols[-1])
+        rows.append(unit.row)
+        sizes.append(unit.usize)
+        classes.append(unit.cls)
+        new_row.append(unit.new_row)
+        seq.append(unit.seq)
+        col_chunks.append(cols)
+        total += unit.usize
+        pos += (
+            2
+            + (varint_size(unit.row_jump - 1) if unit.row_jump > 1 else 0)
+            + varint_size(unit.ujmp)
+            + (
+                varint_size(unit.stride)
+                if unit.seq
+                else (unit.usize - 1) * WIDTH_BYTES[unit.cls]
+            )
+        )
+        ctl_offsets.append(pos)
+    if pos != len(ctl):
+        raise EncodingError(
+            f"reconstructed ctl length {pos} != stream length {len(ctl)}"
+        )
+    if total != nnz:
+        raise EncodingError(f"ctl stream decodes {total} nonzeros, expected {nnz}")
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes_arr, out=offsets[1:])
+    columns = (
+        np.concatenate(col_chunks) if col_chunks else np.empty(0, dtype=np.int64)
+    )
+    return DecodedUnits(
+        rows=np.asarray(rows, dtype=np.int64),
+        sizes=sizes_arr,
+        classes=np.asarray(classes, dtype=np.int8),
+        offsets=offsets,
+        columns=columns.astype(np.int64),
+        new_row=np.asarray(new_row, dtype=bool),
+        ctl_offsets=np.asarray(ctl_offsets, dtype=np.int64),
+        seq=np.asarray(seq, dtype=bool),
+    )

@@ -1,0 +1,327 @@
+"""Delta analysis and unit splitting for CSR-DU.
+
+CSR-DU (Section IV of the paper) logically divides the nonzeros of each
+row into *units*.  A unit stores:
+
+* ``ujmp`` -- the column distance of its first nonzero from the previous
+  nonzero of the row (or from column 0 at a row start), as a varint;
+* ``ucis`` -- the remaining ``usize - 1`` column deltas, all at one fixed
+  width (u8 / u16 / u32 / u64) recorded in the unit's flags.
+
+The encoder here follows the paper's one-pass greedy construction
+(``O(nnz)``): deltas are accumulated into the current unit while they
+share the unit's width class; a width-class change, a row boundary, or
+the 255-element size cap finalizes the unit.  Because the *first* delta
+of a unit is stored as a varint, a unit may open with a delta of any
+class -- the class is fixed by its second element.  The implementation
+is vectorized over *runs* of equal width class rather than looping per
+element.
+
+Three policies are exposed:
+
+* ``"greedy"`` (default, the paper's construction) -- as above;
+* ``"aligned"`` -- finalizes strictly at every class change, never
+  letting a unit open with an out-of-class first delta.  It is kept as
+  an ablation knob: it fragments alternating-class rows and shows why
+  the greedy stealing of the first delta matters;
+* ``"seq"`` -- greedy plus *sequential units*: a maximal run of equal
+  deltas (a strided or contiguous stretch, as stencils and diagonal
+  matrices produce) is stored as a single varint stride instead of
+  ``usize - 1`` fixed-width values.  This is the direction the paper's
+  line of work later took (CSX's dense/strided substructures); it is
+  an extension beyond the ICPP'08 format, benchmarked as ABL-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EncodingError, FormatError
+from repro.util.bitops import width_class_array
+
+#: Maximum nonzeros per unit: ``usize`` is stored in one byte.
+MAX_UNIT_SIZE = 255
+
+#: Minimum body length of equal deltas worth a sequential unit: the
+#: header (2 bytes + 2 varints) must undercut per-element deltas.
+MIN_SEQ_RUN = 5
+
+_POLICIES = ("greedy", "aligned", "seq")
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One CSR-DU unit, in decoded (pre-serialization) form.
+
+    Attributes
+    ----------
+    row:
+        Row index the unit belongs to (units never span rows).
+    new_row:
+        True when this is the first unit of its row.
+    row_jump:
+        Rows advanced when the unit opens a new row (1 for the common
+        case; > 1 when empty rows are skipped -- our extension for
+        empty-row support, serialized behind the RJMP flag).
+    ujmp:
+        Column distance of the first nonzero from the previous one
+        (from column 0 at a row start).
+    deltas:
+        The ``usize - 1`` remaining column deltas (may be empty).
+    cls:
+        Width class (0..3) of ``deltas``; 0 when there are none.
+    seq:
+        Sequential unit: all deltas equal one constant *stride*,
+        serialized as a single varint instead of ``usize - 1``
+        fixed-width values (the ``"seq"`` policy extension).
+    """
+
+    row: int
+    new_row: bool
+    row_jump: int
+    ujmp: int
+    deltas: np.ndarray
+    cls: int
+    seq: bool = False
+
+    @property
+    def stride(self) -> int:
+        """The constant delta of a sequential unit (requires ``seq``)."""
+        if not self.seq:
+            raise EncodingError("stride is only defined for sequential units")
+        return int(self.deltas[0]) if self.deltas.size else 1
+
+    @property
+    def usize(self) -> int:
+        """Number of nonzeros covered by the unit (1 + len(deltas))."""
+        return 1 + len(self.deltas)
+
+    def columns(self, start_col: int) -> np.ndarray:
+        """Absolute column indices, given the column preceding the unit."""
+        first = start_col + self.ujmp
+        return first + np.concatenate(([0], np.cumsum(self.deltas)))
+
+
+def column_deltas(cols: np.ndarray) -> np.ndarray:
+    """Per-row column deltas for one row's sorted column indices.
+
+    ``deltas[0]`` is the jump from column 0 (i.e. ``cols[0]`` itself);
+    the rest are consecutive differences.  Strictly increasing columns
+    are required -- duplicates would need a zero delta, which CSR-DU
+    supports, but duplicate entries in a sparse matrix are a
+    construction error caught earlier.
+    """
+    cols = np.asarray(cols, dtype=np.int64)
+    if cols.size == 0:
+        return cols.copy()
+    deltas = np.empty_like(cols)
+    deltas[0] = cols[0]
+    np.subtract(cols[1:], cols[:-1], out=deltas[1:])
+    if np.any(deltas[1:] <= 0):
+        raise EncodingError("row columns must be strictly increasing")
+    if deltas[0] < 0:
+        raise EncodingError("negative first column")
+    return deltas
+
+
+class _UnitBuilder:
+    """Accumulates one row's units, tracking the new-row flag."""
+
+    def __init__(self, row: int, row_jump: int):
+        self.row = row
+        self.row_jump = row_jump
+        self.new_row = True
+        self.units: list[Unit] = []
+
+    def emit(self, ujmp: int, body: np.ndarray, cls: int | None = None) -> None:
+        if cls is None:
+            cls = int(width_class_array(body).max()) if body.size else 0
+        self.units.append(
+            Unit(
+                row=self.row,
+                new_row=self.new_row,
+                row_jump=self.row_jump if self.new_row else 1,
+                ujmp=int(ujmp),
+                deltas=body.astype(np.int64, copy=True),
+                cls=cls,
+            )
+        )
+        self.new_row = False
+
+    def emit_seq(self, ujmp: int, stride: int, count: int) -> None:
+        self.units.append(
+            Unit(
+                row=self.row,
+                new_row=self.new_row,
+                row_jump=self.row_jump if self.new_row else 1,
+                ujmp=int(ujmp),
+                deltas=np.full(count, stride, dtype=np.int64),
+                cls=0,
+                seq=True,
+            )
+        )
+        self.new_row = False
+
+
+def _split_plain(
+    deltas: np.ndarray,
+    policy: str,
+    max_unit: int,
+    out: _UnitBuilder,
+    classes: np.ndarray | None = None,
+) -> None:
+    """Greedy / aligned unit splitting over one delta segment.
+
+    *classes* may be passed precomputed (the whole-matrix encoder
+    computes them in one vectorized pass); each emitted unit's class is
+    its run's class, so no per-unit recomputation happens.
+    """
+    if deltas.size == 0:
+        return
+    if classes is None:
+        classes = width_class_array(deltas)
+    boundaries = np.flatnonzero(classes[1:] != classes[:-1]) + 1
+    run_starts = np.concatenate(([0], boundaries, [deltas.size]))
+    pending: int | None = None  # a singleton run held back to become a ujmp
+    for r in range(run_starts.size - 1):
+        start, stop = int(run_starts[r]), int(run_starts[r + 1])
+        length = stop - start
+        cls = int(classes[start])
+        last_run = r == run_starts.size - 2
+        if policy == "greedy" and length == 1 and pending is None and not last_run:
+            pending = start
+            continue
+        pos = start
+        if pending is not None:
+            # Pending singleton becomes the ujmp of the first unit here.
+            body_len = min(length, max_unit - 1)
+            out.emit(deltas[pending], deltas[pos : pos + body_len], cls=cls)
+            pos += body_len
+            pending = None
+        while pos < stop:
+            body_len = min(stop - pos - 1, max_unit - 1)
+            body_end = pos + 1 + body_len
+            out.emit(
+                deltas[pos],
+                deltas[pos + 1 : body_end],
+                cls=cls if body_len else 0,
+            )
+            pos = body_end
+    if pending is not None:  # segment ended on a held singleton
+        out.emit(deltas[pending], deltas[:0], cls=0)
+
+
+def _split_seq(deltas: np.ndarray, max_unit: int, out: _UnitBuilder) -> None:
+    """Sequential-unit policy: carve constant-delta runs, greedy elsewhere.
+
+    A maximal run of equal deltas of length >= ``MIN_SEQ_RUN + 1``
+    becomes sequential units (its first element doubles as the ujmp,
+    which equals the stride); everything between runs is greedy.
+    """
+    n = deltas.size
+    change = np.flatnonzero(deltas[1:] != deltas[:-1]) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [n]))
+    plain_from = 0
+    for s, e in zip(starts.tolist(), ends.tolist()):
+        length = e - s
+        if length < MIN_SEQ_RUN + 1:
+            continue
+        if s > plain_from:
+            _split_plain(deltas[plain_from:s], "greedy", max_unit, out)
+        stride = int(deltas[s])
+        remaining = length
+        while remaining > 0:
+            body = min(remaining - 1, max_unit - 1)
+            out.emit_seq(stride, stride, body)
+            remaining -= 1 + body
+        plain_from = e
+    if plain_from < n:
+        _split_plain(deltas[plain_from:], "greedy", max_unit, out)
+
+
+def split_row_units(
+    cols: np.ndarray,
+    row: int,
+    row_jump: int = 1,
+    *,
+    policy: str = "greedy",
+    max_unit: int = MAX_UNIT_SIZE,
+) -> list[Unit]:
+    """Split one row's column indices into units.
+
+    Parameters mirror :func:`unitize`; this is the per-row worker and is
+    also handy in tests for checking Table I of the paper directly.
+    """
+    if policy not in _POLICIES:
+        raise FormatError(f"unknown unit policy {policy!r}; choose from {_POLICIES}")
+    if not 2 <= max_unit <= MAX_UNIT_SIZE:
+        raise FormatError(f"max_unit must be in [2, {MAX_UNIT_SIZE}]")
+    deltas = column_deltas(cols)
+    if deltas.size == 0:
+        return []
+    builder = _UnitBuilder(row, row_jump)
+    if policy == "seq":
+        _split_seq(deltas, max_unit, builder)
+    else:
+        _split_plain(deltas, policy, max_unit, builder)
+    return builder.units
+
+
+def unitize(
+    row_ptr: np.ndarray,
+    col_ind: np.ndarray,
+    *,
+    policy: str = "greedy",
+    max_unit: int = MAX_UNIT_SIZE,
+) -> list[Unit]:
+    """Split a whole CSR structure into CSR-DU units.
+
+    Rows with no nonzeros produce no unit; the following non-empty row's
+    first unit carries the accumulated ``row_jump``.
+    """
+    if policy not in _POLICIES:
+        raise FormatError(f"unknown unit policy {policy!r}; choose from {_POLICIES}")
+    if not 2 <= max_unit <= MAX_UNIT_SIZE:
+        raise FormatError(f"max_unit must be in [2, {MAX_UNIT_SIZE}]")
+    row_ptr = np.asarray(row_ptr, dtype=np.int64)
+    col_ind = np.asarray(col_ind, dtype=np.int64)
+    nnz = col_ind.size
+    # One vectorized pass over the whole matrix: per-element deltas
+    # (row-start deltas measured from column 0) and width classes.
+    deltas_all = np.empty(nnz, dtype=np.int64)
+    if nnz:
+        deltas_all[0] = col_ind[0]
+        np.subtract(col_ind[1:], col_ind[:-1], out=deltas_all[1:])
+        starts = row_ptr[:-1][np.diff(row_ptr) > 0]
+        deltas_all[starts] = col_ind[starts]
+        inner = np.ones(nnz, dtype=bool)
+        inner[starts] = False
+        if np.any(deltas_all[inner] <= 0):
+            raise EncodingError("row columns must be strictly increasing")
+        if np.any(deltas_all[starts] < 0):
+            raise EncodingError("negative first column")
+    classes_all = width_class_array(deltas_all)
+    units: list[Unit] = []
+    jump = 1
+    for row in range(row_ptr.size - 1):
+        start, stop = int(row_ptr[row]), int(row_ptr[row + 1])
+        if start == stop:
+            jump += 1
+            continue
+        builder = _UnitBuilder(row, jump)
+        if policy == "seq":
+            _split_seq(deltas_all[start:stop], max_unit, builder)
+        else:
+            _split_plain(
+                deltas_all[start:stop],
+                policy,
+                max_unit,
+                builder,
+                classes=classes_all[start:stop],
+            )
+        units.extend(builder.units)
+        jump = 1
+    return units

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while letting programming errors (``TypeError`` from
+misuse of NumPy, etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix format was constructed from inconsistent arrays."""
+
+
+class EncodingError(ReproError):
+    """A compression stream (ctl / DCSR commands) is malformed.
+
+    Raised both by encoders asked to encode impossible input (e.g. a
+    negative column delta inside a row) and by decoders that run off the
+    end of a stream or meet an unknown command byte.
+    """
+
+
+class PartitionError(ReproError):
+    """A work partition does not cover the matrix or is malformed."""
+
+
+class MachineModelError(ReproError):
+    """A machine specification or simulation request is invalid."""
+
+
+class CatalogError(ReproError):
+    """A matrix-catalog entry is unknown or cannot be realized."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its tolerance.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual norm achieved.
+    """
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = int(iterations)
+        self.residual = float(residual)

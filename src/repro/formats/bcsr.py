@@ -1,0 +1,188 @@
+"""BCSR (Blocked CSR) -- the classic register-blocking format.
+
+Listed by the paper (Section III-A) among the CSR alternatives that
+reduce index storage by exploiting structure: nonzeros are grouped into
+dense ``r x c`` blocks aligned to a block grid, and only one column
+index is stored *per block*.  Zeros inside a partially filled block are
+stored explicitly ("fill"), so BCSR trades value storage for index
+storage -- the opposite direction of CSR-VI, and a useful ablation
+contrast: for matrices without dense block structure the fill explodes
+and compression backfires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseMatrix, Storage, register_format
+from repro.formats.csr import CSRMatrix
+from repro.util.validation import as_index_array, check_monotone
+
+
+@register_format
+class BCSRMatrix(SparseMatrix):
+    """Blocked CSR with fixed ``r x c`` blocks.
+
+    ``brow_ptr`` (block-row offsets), ``bcol_ind`` (block-column index
+    per block) and ``block_values`` (``nblocks x r x c`` dense blocks).
+    """
+
+    name = "bcsr"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        r: int,
+        c: int,
+        brow_ptr,
+        bcol_ind,
+        block_values,
+    ):
+        super().__init__(nrows, ncols)
+        if r < 1 or c < 1:
+            raise FormatError(f"block shape ({r}, {c}) must be positive")
+        self.r, self.c = int(r), int(c)
+        brow_ptr = as_index_array(brow_ptr, "brow_ptr")
+        bcol_ind = as_index_array(bcol_ind, "bcol_ind")
+        block_values = np.ascontiguousarray(block_values, dtype=np.float64)
+        nbrows = -(-nrows // r)  # ceil division
+        if brow_ptr.size != nbrows + 1:
+            raise FormatError(
+                f"brow_ptr has {brow_ptr.size} entries, expected {nbrows + 1}"
+            )
+        check_monotone(brow_ptr, "brow_ptr")
+        if block_values.ndim != 3 or block_values.shape[1:] != (r, c):
+            raise FormatError(
+                f"block_values must be (nblocks, {r}, {c}), got {block_values.shape}"
+            )
+        if bcol_ind.size != block_values.shape[0]:
+            raise FormatError("bcol_ind and block_values length mismatch")
+        if brow_ptr.size and int(brow_ptr[-1]) != bcol_ind.size:
+            raise FormatError("brow_ptr must run to the number of blocks")
+        nbcols = -(-ncols // c)
+        if bcol_ind.size and int(bcol_ind.max()) >= nbcols:
+            raise FormatError("bcol_ind out of block-column range")
+        self.brow_ptr = brow_ptr
+        self.bcol_ind = bcol_ind
+        self.block_values = block_values
+        # True (pre-fill) nonzero count, needed for honest fill accounting.
+        self._true_nnz = int(np.count_nonzero(block_values))
+
+    @property
+    def nnz(self) -> int:
+        """Explicitly stored entries including fill zeros."""
+        return self.block_values.shape[0] * self.r * self.c
+
+    @property
+    def true_nnz(self) -> int:
+        """Original nonzeros (excluding fill)."""
+        return self._true_nnz
+
+    @property
+    def fill_ratio(self) -> float:
+        """Stored entries / original nonzeros (1.0 means no fill)."""
+        return self.nnz / self.true_nnz if self.true_nnz else 0.0
+
+    def storage(self) -> Storage:
+        return Storage(
+            index_bytes=self.brow_ptr.nbytes + self.bcol_ind.nbytes,
+            value_bytes=self.block_values.nbytes,
+        )
+
+    def iter_entries(self) -> Iterator[tuple[int, int, float]]:
+        nbrows = self.brow_ptr.size - 1
+        for brow in range(nbrows):
+            # Collect the block row's entries, then emit in column order.
+            entries: list[tuple[int, int, float]] = []
+            for b in range(int(self.brow_ptr[brow]), int(self.brow_ptr[brow + 1])):
+                bcol = int(self.bcol_ind[b])
+                block = self.block_values[b]
+                for i in range(self.r):
+                    for j in range(self.c):
+                        v = float(block[i, j])
+                        if v != 0.0:
+                            entries.append((brow * self.r + i, bcol * self.c + j, v))
+            entries.sort()
+            yield from entries
+
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise FormatError(f"x has shape {x.shape}, expected ({self.ncols},)")
+        # Pad x to a whole number of blocks, gather per-block slices,
+        # batched matvec over all blocks, scatter-add into block rows.
+        nbcols = -(-self.ncols // self.c)
+        xp = np.zeros(nbcols * self.c, dtype=np.float64)
+        xp[: self.ncols] = x
+        xblocks = xp.reshape(nbcols, self.c)[self.bcol_ind]  # (nblocks, c)
+        contrib = np.einsum("bij,bj->bi", self.block_values, xblocks)  # (nblocks, r)
+        nbrows = self.brow_ptr.size - 1
+        blens = np.diff(self.brow_ptr.astype(np.int64))
+        brow_of = np.repeat(np.arange(nbrows), blens)
+        ypad = np.zeros((nbrows, self.r), dtype=np.float64)
+        np.add.at(ypad, brow_of, contrib)
+        y = ypad.reshape(-1)[: self.nrows]
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, r: int = 2, c: int = 2) -> "BCSRMatrix":
+        """Block a CSR matrix on an aligned ``r x c`` grid (with fill)."""
+        if r < 1 or c < 1:
+            raise FormatError(f"block shape ({r}, {c}) must be positive")
+        rows = csr.row_of_entry()
+        cols = csr.col_ind.astype(np.int64)
+        brows = rows // r
+        bcols = cols // c
+        nbrows = -(-csr.nrows // r)
+        # Unique (brow, bcol) pairs in block-row-major order.
+        key = brows * (-(-csr.ncols // c)) + bcols
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        uniq_mask = np.ones(key_sorted.size, dtype=bool)
+        uniq_mask[1:] = key_sorted[1:] != key_sorted[:-1]
+        block_of_entry = np.cumsum(uniq_mask) - 1  # in sorted order
+        nblocks = int(block_of_entry[-1]) + 1 if key_sorted.size else 0
+        block_values = np.zeros((nblocks, r, c), dtype=np.float64)
+        e_rows = rows[order] % r
+        e_cols = cols[order] % c
+        block_values[block_of_entry, e_rows, e_cols] = csr.values[order]
+        ubrow = (key_sorted[uniq_mask] // (-(-csr.ncols // c))).astype(np.int64)
+        ubcol = (key_sorted[uniq_mask] % (-(-csr.ncols // c))).astype(np.int64)
+        counts = np.bincount(ubrow, minlength=nbrows) if nblocks else np.zeros(
+            nbrows, dtype=np.int64
+        )
+        brow_ptr = np.zeros(nbrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=brow_ptr[1:])
+        return cls(
+            csr.nrows,
+            csr.ncols,
+            r,
+            c,
+            brow_ptr.astype(np.int32),
+            ubcol.astype(np.int32),
+            block_values,
+        )
+
+    def to_csr(self) -> CSRMatrix:
+        rows, cols, vals = [], [], []
+        for i, j, v in self.iter_entries():
+            rows.append(i)
+            cols.append(j)
+            vals.append(v)
+        from repro.formats.coo import COOMatrix
+
+        coo = COOMatrix(
+            self.nrows,
+            self.ncols,
+            np.asarray(rows, dtype=np.int32),
+            np.asarray(cols, dtype=np.int32),
+            np.asarray(vals, dtype=np.float64),
+        )
+        return CSRMatrix.from_coo(coo)

@@ -1,0 +1,46 @@
+"""Generic conversions between any two registered formats.
+
+All roads go through CSR: every format implements ``from_csr`` /
+``to_csr`` (COO uses ``from_coo``/``to_coo``), so :func:`convert` is a
+two-hop bridge.  Keeping one canonical hub format keeps the conversion
+graph linear in the number of formats instead of quadratic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormatError
+from repro.formats.base import SparseMatrix, get_format
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def to_csr(matrix: SparseMatrix) -> CSRMatrix:
+    """Bring any format to CSR."""
+    if isinstance(matrix, CSRMatrix):
+        return matrix
+    if isinstance(matrix, COOMatrix):
+        return CSRMatrix.from_coo(matrix)
+    converter = getattr(matrix, "to_csr", None)
+    if converter is not None:
+        return converter()
+    to_coo = getattr(matrix, "to_coo", None)
+    if to_coo is not None:
+        return CSRMatrix.from_coo(to_coo())
+    raise FormatError(f"{type(matrix).__name__} cannot convert to CSR")
+
+
+def convert(matrix: SparseMatrix, name: str, **kwargs) -> SparseMatrix:
+    """Convert *matrix* to the format registered under *name*.
+
+    Extra keyword arguments are forwarded to the target's ``from_csr``
+    (e.g. ``policy=`` for CSR-DU, ``r=``/``c=`` for BCSR).
+    """
+    cls = get_format(name)
+    if isinstance(matrix, cls) and not kwargs:
+        return matrix
+    csr = to_csr(matrix)
+    if cls is CSRMatrix:
+        return csr
+    if cls is COOMatrix:
+        return csr.to_coo()
+    return cls.from_csr(csr, **kwargs)

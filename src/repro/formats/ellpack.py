@@ -1,0 +1,121 @@
+"""ELLPACK-ITPACK (ELL) format.
+
+One of the classic CSR alternatives the paper's related work lists
+(Section III-A, via SPARSKIT [18]): every row is padded to the maximum
+row length ``K`` and stored in two dense ``nrows x K`` arrays
+(column indices and values), giving perfectly regular, vectorizable
+accesses.  The cost is padding: a single long row inflates the whole
+matrix, which is why ELL suits regular meshes and fails on power-law
+graphs -- a useful structural contrast to CSR-DU, whose unit scheme
+adapts to irregularity instead of padding it away.
+
+Padding entries store column index ``-1`` and value 0; kernels mask
+them out (the 0 value alone would suffice numerically, but masked
+gathers keep x accesses in range).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseMatrix, Storage, register_format
+from repro.formats.csr import CSRMatrix
+
+
+@register_format
+class ELLMatrix(SparseMatrix):
+    """ELLPACK storage: dense ``nrows x K`` index/value slabs."""
+
+    name = "ell"
+
+    def __init__(self, nrows: int, ncols: int, col_slab, value_slab):
+        super().__init__(nrows, ncols)
+        col_slab = np.ascontiguousarray(col_slab, dtype=np.int32)
+        value_slab = np.ascontiguousarray(value_slab, dtype=np.float64)
+        if col_slab.ndim != 2 or value_slab.ndim != 2:
+            raise FormatError("ELL slabs must be 2-D")
+        if col_slab.shape != value_slab.shape:
+            raise FormatError(
+                f"slab shapes differ: {col_slab.shape} vs {value_slab.shape}"
+            )
+        if col_slab.shape[0] != nrows:
+            raise FormatError(
+                f"slabs have {col_slab.shape[0]} rows, expected {nrows}"
+            )
+        valid = col_slab >= 0
+        if col_slab[valid].size and int(col_slab[valid].max()) >= ncols:
+            raise FormatError("column index out of range")
+        if np.any(value_slab[~valid] != 0.0):
+            raise FormatError("padding entries must have zero values")
+        self.col_slab = col_slab
+        self.value_slab = value_slab
+        self._valid = valid
+
+    @property
+    def K(self) -> int:
+        """Padded row length (max nonzeros per row)."""
+        return self.col_slab.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self._valid))
+
+    @property
+    def padding_ratio(self) -> float:
+        """Stored slots / real nonzeros (1.0 = no padding)."""
+        nnz = self.nnz
+        return (self.nrows * self.K) / nnz if nnz else 0.0
+
+    def storage(self) -> Storage:
+        return Storage(
+            index_bytes=self.col_slab.nbytes,
+            value_bytes=self.value_slab.nbytes,
+        )
+
+    def iter_entries(self) -> Iterator[tuple[int, int, float]]:
+        for i in range(self.nrows):
+            for k in range(self.K):
+                if self._valid[i, k]:
+                    yield i, int(self.col_slab[i, k]), float(self.value_slab[i, k])
+
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Column-of-slab kernel: K dense gather-multiply-accumulates."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise FormatError(f"x has shape {x.shape}, expected ({self.ncols},)")
+        safe_cols = np.where(self._valid, self.col_slab, 0)
+        y = np.einsum("ik,ik->i", self.value_slab, x[safe_cols])
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "ELLMatrix":
+        lens = csr.row_lengths()
+        K = int(lens.max()) if lens.size else 0
+        col_slab = np.full((csr.nrows, max(K, 1)), -1, dtype=np.int32)
+        value_slab = np.zeros((csr.nrows, max(K, 1)), dtype=np.float64)
+        if csr.nnz:
+            rows = csr.row_of_entry()
+            # Lane = position within the row.
+            lane = np.arange(csr.nnz) - csr.row_ptr[:-1].astype(np.int64)[rows]
+            col_slab[rows, lane] = csr.col_ind
+            value_slab[rows, lane] = csr.values
+        return cls(csr.nrows, csr.ncols, col_slab, value_slab)
+
+    def to_csr(self) -> CSRMatrix:
+        lens = self._valid.sum(axis=1)
+        row_ptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(lens, out=row_ptr[1:])
+        mask = self._valid.ravel()
+        return CSRMatrix(
+            self.nrows,
+            self.ncols,
+            row_ptr.astype(np.int32),
+            self.col_slab.ravel()[mask],
+            self.value_slab.ravel()[mask],
+        )

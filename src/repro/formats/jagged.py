@@ -1,0 +1,146 @@
+"""JDS (Jagged Diagonal Storage).
+
+The other classic vector-machine format from the paper's related-work
+list (Section III-A).  Rows are sorted by decreasing length; the k-th
+nonzeros of all rows long enough form the k-th *jagged diagonal*, a
+dense strip processed with unit stride.  A permutation array maps
+results back to original row order.
+
+JDS removes ELL's padding (each jagged diagonal is exactly as long as
+the number of rows that reach it) at the price of the permutation
+indirection -- the historical stepping stone between padded formats and
+CSR-style adaptivity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseMatrix, Storage, register_format
+from repro.formats.csr import CSRMatrix
+from repro.util.validation import as_index_array, as_value_array, check_monotone
+
+
+@register_format
+class JDSMatrix(SparseMatrix):
+    """Jagged Diagonal Storage.
+
+    Arrays: ``perm`` (sorted-row -> original-row), ``jd_ptr`` (offsets
+    of each jagged diagonal, non-increasing widths), ``col_ind`` and
+    ``values`` (diagonal-major concatenation).
+    """
+
+    name = "jds"
+
+    def __init__(self, nrows: int, ncols: int, perm, jd_ptr, col_ind, values):
+        super().__init__(nrows, ncols)
+        perm = as_index_array(perm, "perm")
+        jd_ptr = as_index_array(jd_ptr, "jd_ptr", dtype=np.dtype(np.int64))
+        col_ind = as_index_array(col_ind, "col_ind")
+        values = as_value_array(values, "values")
+        if perm.size != nrows:
+            raise FormatError(f"perm has {perm.size} entries, expected {nrows}")
+        if sorted(perm.tolist()) != list(range(nrows)):
+            raise FormatError("perm must be a permutation of the rows")
+        check_monotone(jd_ptr, "jd_ptr")
+        if jd_ptr.size == 0 or jd_ptr[0] != 0 or int(jd_ptr[-1]) != values.size:
+            raise FormatError("jd_ptr must run from 0 to nnz")
+        widths = np.diff(jd_ptr)
+        if widths.size > 1 and np.any(np.diff(widths) > 0):
+            raise FormatError("jagged diagonals must have non-increasing widths")
+        if col_ind.size != values.size:
+            raise FormatError("col_ind and values length mismatch")
+        if col_ind.size and int(col_ind.max()) >= ncols:
+            raise FormatError("column index out of range")
+        self.perm = perm
+        self.jd_ptr = jd_ptr
+        self.col_ind = col_ind
+        self.values = values
+
+    @property
+    def nnz(self) -> int:
+        return self.values.size
+
+    @property
+    def ndiagonals(self) -> int:
+        return self.jd_ptr.size - 1
+
+    def storage(self) -> Storage:
+        return Storage(
+            index_bytes=self.perm.nbytes + self.jd_ptr.nbytes + self.col_ind.nbytes,
+            value_bytes=self.values.nbytes,
+        )
+
+    def iter_entries(self) -> Iterator[tuple[int, int, float]]:
+        entries: list[tuple[int, int, float]] = []
+        for d in range(self.ndiagonals):
+            lo, hi = int(self.jd_ptr[d]), int(self.jd_ptr[d + 1])
+            for k in range(hi - lo):
+                entries.append(
+                    (
+                        int(self.perm[k]),
+                        int(self.col_ind[lo + k]),
+                        float(self.values[lo + k]),
+                    )
+                )
+        entries.sort()
+        yield from entries
+
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Diagonal-major kernel: one dense AXPY-like pass per diagonal."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise FormatError(f"x has shape {x.shape}, expected ({self.ncols},)")
+        y_sorted = np.zeros(self.nrows, dtype=np.float64)
+        for d in range(self.ndiagonals):
+            lo, hi = int(self.jd_ptr[d]), int(self.jd_ptr[d + 1])
+            width = hi - lo
+            y_sorted[:width] += self.values[lo:hi] * x[self.col_ind[lo:hi]]
+        y = np.zeros(self.nrows, dtype=np.float64)
+        y[self.perm] = y_sorted
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "JDSMatrix":
+        lens = csr.row_lengths()
+        # Stable sort keeps equal-length rows in original order.
+        perm = np.argsort(-lens, kind="stable").astype(np.int32)
+        sorted_lens = lens[perm]
+        K = int(sorted_lens.max()) if sorted_lens.size else 0
+        widths = [int(np.count_nonzero(sorted_lens > d)) for d in range(K)]
+        jd_ptr = np.zeros(K + 1, dtype=np.int64)
+        np.cumsum(widths, out=jd_ptr[1:])
+        col_ind = np.empty(csr.nnz, dtype=np.int32)
+        values = np.empty(csr.nnz, dtype=np.float64)
+        for d in range(K):
+            width = widths[d]
+            rows = perm[:width].astype(np.int64)
+            src = csr.row_ptr[:-1].astype(np.int64)[rows] + d
+            lo = int(jd_ptr[d])
+            col_ind[lo : lo + width] = csr.col_ind[src]
+            values[lo : lo + width] = csr.values[src]
+        return cls(csr.nrows, csr.ncols, perm, jd_ptr, col_ind, values)
+
+    def to_csr(self) -> CSRMatrix:
+        rows, cols, vals = [], [], []
+        for i, j, v in self.iter_entries():
+            rows.append(i)
+            cols.append(j)
+            vals.append(v)
+        from repro.formats.coo import COOMatrix
+
+        return CSRMatrix.from_coo(
+            COOMatrix(
+                self.nrows,
+                self.ncols,
+                np.asarray(rows, dtype=np.int32),
+                np.asarray(cols, dtype=np.int32),
+                np.asarray(vals, dtype=np.float64),
+            )
+        )

@@ -1,0 +1,84 @@
+"""Kernel registry: look SpMV kernels up by format name and tier.
+
+Tiers:
+
+* ``"reference"`` -- pure Python, the paper's listings (ground truth);
+* ``"vectorized"`` -- NumPy, decode-on-the-fly where the format is
+  compressed;
+* ``"cached"`` -- the format's own :meth:`spmv` (structural decode
+  cached across calls; the iterative-use default).
+
+``get_kernel(format_name, tier)`` returns a uniform
+``kernel(matrix, x) -> y`` callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.kernels import reference as _ref
+from repro.kernels import vectorized as _vec
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A registered kernel: its identity plus the callable."""
+
+    format_name: str
+    tier: str
+    func: Callable
+
+    def __call__(self, matrix, x: np.ndarray) -> np.ndarray:
+        return self.func(matrix, x)
+
+
+def _cached(matrix, x):
+    return matrix.spmv(x)
+
+
+_KERNELS: dict[tuple[str, str], Callable] = {
+    ("csr", "reference"): _ref.spmv_csr_reference,
+    ("csr", "vectorized"): _vec.spmv_csr_vectorized,
+    ("csr-du", "reference"): _ref.spmv_csr_du_reference,
+    ("csr-du", "vectorized"): _vec.spmv_csr_du_unitwise,
+    ("csr-vi", "reference"): _ref.spmv_csr_vi_reference,
+    ("csr-vi", "vectorized"): _vec.spmv_csr_vi_vectorized,
+    ("csr-du-vi", "vectorized"): _vec.spmv_csr_du_vi_vectorized,
+    ("dcsr", "reference"): _ref.spmv_dcsr_reference,
+}
+
+# Every registered format supports the "cached" tier through its spmv().
+for _name in (
+    "coo",
+    "csr",
+    "csc",
+    "csr-du",
+    "csr-vi",
+    "csr-du-vi",
+    "dcsr",
+    "bcsr",
+    "ell",
+    "jds",
+):
+    _KERNELS[(_name, "cached")] = _cached
+
+
+def get_kernel(format_name: str, tier: str = "cached") -> KernelSpec:
+    """Look up a kernel; raises :class:`~repro.errors.FormatError` if absent."""
+    try:
+        func = _KERNELS[(format_name, tier)]
+    except KeyError:
+        raise FormatError(
+            f"no kernel for format {format_name!r} at tier {tier!r}; "
+            f"available: {sorted(_KERNELS)}"
+        ) from None
+    return KernelSpec(format_name=format_name, tier=tier, func=func)
+
+
+def available_kernels() -> tuple[tuple[str, str], ...]:
+    """All registered ``(format, tier)`` pairs, sorted."""
+    return tuple(sorted(_KERNELS))

@@ -1,0 +1,51 @@
+"""Machine model: topology, caches, bandwidth domains, cost model, engine.
+
+This package is the substitution for the paper's 2x Clovertown testbed
+(see DESIGN.md section 3): it predicts SpMV execution time for a given
+(matrix, format, thread placement) from the format's exact byte layout,
+a calibrated per-format instruction cost model, and a fluid
+bandwidth-contention solver over the machine's bandwidth domains.
+"""
+
+from repro.machine.topology import (
+    Core,
+    MachineSpec,
+    clovertown_8core,
+    place_threads,
+    smp_machine,
+    woodcrest_4core,
+)
+from repro.machine.cache import LRUCache, simulate_trace
+from repro.machine.costmodel import CostModel, KernelCost, default_cost_model
+from repro.machine.traffic import ThreadWork, analyze_threads
+from repro.machine.engine import SimResult, solve_makespan
+from repro.machine.roofline import RooflinePoint, format_roofline, roofline_point, roofline_table
+from repro.machine.simulate import simulate_spmv, spmv_mflops
+from repro.machine.tracesim import TraceResult, format_trace, run_trace
+
+__all__ = [
+    "Core",
+    "MachineSpec",
+    "clovertown_8core",
+    "woodcrest_4core",
+    "smp_machine",
+    "place_threads",
+    "LRUCache",
+    "simulate_trace",
+    "CostModel",
+    "KernelCost",
+    "default_cost_model",
+    "ThreadWork",
+    "analyze_threads",
+    "SimResult",
+    "solve_makespan",
+    "simulate_spmv",
+    "RooflinePoint",
+    "roofline_point",
+    "roofline_table",
+    "format_roofline",
+    "TraceResult",
+    "format_trace",
+    "run_trace",
+    "spmv_mflops",
+]

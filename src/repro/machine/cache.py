@@ -1,0 +1,165 @@
+"""Trace-driven set-associative LRU cache simulator.
+
+The analytic residency model in :mod:`repro.machine.traffic` is what
+the big experiments use; this simulator exists to (a) validate that
+model on small matrices (tests cross-check the two), and (b) support
+the cache-behaviour unit tests with a ground-truth LRU implementation.
+
+Addresses are byte addresses; the cache maps them to lines of
+``line_bytes`` and maintains true LRU order per set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MachineModelError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one simulation run."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate
+
+
+class LRUCache:
+    """Set-associative cache with true LRU replacement.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total capacity; must be ``assoc * line_bytes * nsets`` for a
+        power-of-two number of sets.
+    assoc:
+        Ways per set.
+    line_bytes:
+        Line size (power of two).
+    """
+
+    def __init__(self, capacity_bytes: int, assoc: int = 8, line_bytes: int = 64):
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise MachineModelError("line_bytes must be a positive power of two")
+        if assoc < 1:
+            raise MachineModelError("associativity must be >= 1")
+        nsets = capacity_bytes // (assoc * line_bytes)
+        if nsets < 1:
+            raise MachineModelError(
+                f"capacity {capacity_bytes} too small for {assoc}-way "
+                f"{line_bytes}-byte lines"
+            )
+        if nsets & (nsets - 1):
+            raise MachineModelError(f"set count {nsets} must be a power of two")
+        self.capacity_bytes = nsets * assoc * line_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.nsets = nsets
+        # Per set: OrderedDict of tag -> None, LRU first.
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(nsets)]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.nsets, line // self.nsets
+
+    def access(self, addr: int) -> bool:
+        """Access one byte address; returns True on hit."""
+        set_idx, tag = self._locate(addr)
+        ways = self._sets[set_idx]
+        self.stats.accesses += 1
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        if len(ways) >= self.assoc:
+            ways.popitem(last=False)
+        ways[tag] = None
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating residency probe."""
+        set_idx, tag = self._locate(addr)
+        return tag in self._sets[set_idx]
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self.stats = CacheStats()
+
+
+def simulate_trace(
+    cache: LRUCache, addresses: np.ndarray, *, repeats: int = 1
+) -> CacheStats:
+    """Run an address trace through *cache*, optionally repeated.
+
+    Returns the stats of the *last* repetition (the steady-state
+    iteration, matching the paper's 128-iteration measurement where
+    compulsory misses amortize away).
+    """
+    if repeats < 1:
+        raise MachineModelError("repeats must be >= 1")
+    addresses = np.asarray(addresses, dtype=np.int64)
+    last = CacheStats()
+    for _ in range(repeats):
+        before_acc, before_hit = cache.stats.accesses, cache.stats.hits
+        for addr in addresses.tolist():
+            cache.access(int(addr))
+        last = CacheStats(
+            accesses=cache.stats.accesses - before_acc,
+            hits=cache.stats.hits - before_hit,
+        )
+    return last
+
+
+def spmv_address_trace(
+    row_ptr: np.ndarray,
+    col_ind: np.ndarray,
+    *,
+    index_size: int = 4,
+    value_size: int = 8,
+) -> np.ndarray:
+    """Byte-address trace of one CSR SpMV iteration.
+
+    Lays the arrays out consecutively (row_ptr, col_ind, values, x, y)
+    and emits the kernel's access sequence: per row, the row_ptr read,
+    then per nonzero the col_ind, values and x reads, then the y write.
+    Used by the model-validation tests on small matrices.
+    """
+    row_ptr = np.asarray(row_ptr, dtype=np.int64)
+    col_ind = np.asarray(col_ind, dtype=np.int64)
+    nrows = row_ptr.size - 1
+    nnz = col_ind.size
+    base_rp = 0
+    base_ci = base_rp + (nrows + 1) * index_size
+    base_va = base_ci + nnz * index_size
+    base_x = base_va + nnz * value_size
+    ncols = int(col_ind.max()) + 1 if nnz else 0
+    base_y = base_x + ncols * value_size
+    trace: list[int] = []
+    for i in range(nrows):
+        trace.append(base_rp + (i + 1) * index_size)
+        for j in range(int(row_ptr[i]), int(row_ptr[i + 1])):
+            trace.append(base_ci + j * index_size)
+            trace.append(base_va + j * value_size)
+            trace.append(base_x + int(col_ind[j]) * value_size)
+        trace.append(base_y + i * value_size)
+    return np.asarray(trace, dtype=np.int64)

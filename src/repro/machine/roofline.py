@@ -1,0 +1,128 @@
+"""Roofline analysis: arithmetic intensity per format.
+
+The roofline model makes the paper's "memory bound" claim a single
+number: a kernel with arithmetic intensity ``I`` flops/byte on a
+machine with peak compute ``P`` flops/s and bandwidth ``B`` bytes/s is
+bandwidth-bound iff ``I < P / B`` (the *ridge point*).
+
+SpMV's useful work is fixed (2 flops per nonzero), so compression
+raises ``I`` purely by shrinking the denominator -- CSR-DU and CSR-VI
+are literally "move the kernel rightward on the roofline" devices, and
+this module quantifies how far each format gets and whether it crosses
+the ridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.base import SparseMatrix
+from repro.machine.costmodel import CostModel, default_cost_model
+from repro.machine.simulate import simulate_spmv
+from repro.machine.topology import MachineSpec, clovertown_8core
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One format's position on the machine's roofline.
+
+    Attributes
+    ----------
+    intensity:
+        Useful flops per DRAM byte (steady state, post-residency).
+    attainable_mflops:
+        ``min(peak, bandwidth * intensity)`` -- the roofline ceiling.
+    achieved_mflops:
+        The engine's actual prediction (includes per-row/unit overheads
+        and imperfect overlap; never above the ceiling by construction
+        of the model's bounds, up to rounding).
+    memory_bound:
+        Whether the point lies left of the ridge.
+    """
+
+    format_name: str
+    threads: int
+    intensity: float
+    ridge_intensity: float
+    peak_mflops: float
+    attainable_mflops: float
+    achieved_mflops: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.intensity < self.ridge_intensity
+
+
+def machine_peak_flops(
+    machine: MachineSpec, threads: int, cost: CostModel
+) -> float:
+    """Peak useful flop rate: the cost model's 2 flops per
+    ``per_element`` cycles, across *threads* cores."""
+    return threads * machine.clock_hz * 2.0 / cost.per_element
+
+
+def roofline_point(
+    matrix: SparseMatrix,
+    threads: int = 8,
+    machine: MachineSpec | None = None,
+    *,
+    cost_model: CostModel | None = None,
+) -> RooflinePoint:
+    """Place one (matrix, format, threads) on the roofline."""
+    machine = machine or clovertown_8core()
+    cost_model = cost_model or default_cost_model()
+    res = simulate_spmv(matrix, threads, machine, cost_model=cost_model)
+    flops = 2.0 * matrix.nnz
+    traffic = res.total_traffic
+    bandwidth = min(machine.mem_bw, threads * machine.core_bw)
+    peak = machine_peak_flops(machine, threads, cost_model)
+    intensity = flops / traffic if traffic > 0 else float("inf")
+    ridge = peak / bandwidth
+    attainable = min(peak, bandwidth * intensity)
+    return RooflinePoint(
+        format_name=type(matrix).name,
+        threads=threads,
+        intensity=intensity,
+        ridge_intensity=ridge,
+        peak_mflops=peak / 1e6,
+        attainable_mflops=attainable / 1e6,
+        achieved_mflops=res.mflops,
+    )
+
+
+def roofline_table(
+    matrix: SparseMatrix,
+    *,
+    formats: tuple[str, ...] = ("csr", "csr-du", "csr-vi", "csr-du-vi"),
+    threads: int = 8,
+    machine: MachineSpec | None = None,
+    cost_model: CostModel | None = None,
+) -> list[RooflinePoint]:
+    """Roofline positions for several formats of the same matrix."""
+    from repro.formats.conversions import convert
+
+    return [
+        roofline_point(
+            convert(matrix, fmt),
+            threads,
+            machine,
+            cost_model=cost_model,
+        )
+        for fmt in formats
+    ]
+
+
+def format_roofline(points: list[RooflinePoint]) -> str:
+    """Aligned text rendering of roofline points."""
+    lines = [
+        f"{'format':>10} {'thr':>4} {'I (F/B)':>9} {'ridge':>7} "
+        f"{'attainable':>11} {'achieved':>9}  regime"
+    ]
+    for p in points:
+        regime = "memory-bound" if p.memory_bound else "compute-bound"
+        lines.append(
+            f"{p.format_name:>10} {p.threads:>4} {p.intensity:>9.3f} "
+            f"{p.ridge_intensity:>7.3f} {p.attainable_mflops:>10.1f}M "
+            f"{p.achieved_mflops:>8.1f}M  {regime}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Trace-driven SpMV simulation: per-format address traces through a
+two-level cache.
+
+The analytic model in :mod:`repro.machine.engine` works with aggregate
+byte counts; this module is its ground-truth companion: it generates
+the *actual byte-address sequence* an SpMV kernel issues for a given
+format, replays it through an L1+L2 LRU hierarchy, and reports DRAM
+traffic per steady-state iteration.  The validation tests
+(`tests/machine/test_tracesim.py`) pin the analytic residency model to
+these measurements in both the fitting and streaming regimes.
+
+Address-space layout: each array gets its own region, in declaration
+order, 64-byte aligned, so traces of different formats are directly
+comparable.  Traces are per-access (one entry per load/store), which
+limits this path to small matrices -- exactly its intended use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MachineModelError
+from repro.formats.base import SparseMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.csr_du import CSRDUMatrix
+from repro.formats.csr_vi import CSRVIMatrix
+from repro.machine.cache import CacheStats, LRUCache
+
+_ALIGN = 64
+
+
+class _Layout:
+    """Sequential 64-byte-aligned address regions per array."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self.regions: dict[str, tuple[int, int]] = {}
+
+    def add(self, name: str, nbytes: int) -> int:
+        base = self._next
+        self.regions[name] = (base, nbytes)
+        self._next = base + ((nbytes + _ALIGN - 1) // _ALIGN) * _ALIGN
+        return base
+
+
+def csr_trace(matrix: CSRMatrix) -> np.ndarray:
+    """Address trace of one CSR SpMV iteration (Section II-B kernel)."""
+    lay = _Layout()
+    rp = lay.add("row_ptr", matrix.row_ptr.nbytes)
+    ci = lay.add("col_ind", matrix.col_ind.nbytes)
+    va = lay.add("values", matrix.values.nbytes)
+    xb = lay.add("x", matrix.ncols * 8)
+    yb = lay.add("y", matrix.nrows * 8)
+    isz = matrix.col_ind.dtype.itemsize
+    rsz = matrix.row_ptr.dtype.itemsize
+    trace: list[int] = []
+    for i in range(matrix.nrows):
+        trace.append(rp + (i + 1) * rsz)
+        for j in range(int(matrix.row_ptr[i]), int(matrix.row_ptr[i + 1])):
+            trace.append(ci + j * isz)
+            trace.append(va + j * 8)
+            trace.append(xb + int(matrix.col_ind[j]) * 8)
+        trace.append(yb + i * 8)
+    return np.asarray(trace, dtype=np.int64)
+
+
+def csr_du_trace(matrix: CSRDUMatrix) -> np.ndarray:
+    """Address trace of one CSR-DU SpMV iteration (Fig. 3 kernel).
+
+    The ctl stream is touched byte-range by byte-range per unit (header
+    plus deltas), values stream sequentially, x is gathered at the
+    decoded columns.
+    """
+    lay = _Layout()
+    cb = lay.add("ctl", len(matrix.ctl))
+    va = lay.add("values", matrix.values.nbytes)
+    xb = lay.add("x", matrix.ncols * 8)
+    yb = lay.add("y", matrix.nrows * 8)
+    du = matrix.units
+    trace: list[int] = []
+    for u in range(du.nunits):
+        lo, hi = int(du.ctl_offsets[u]), int(du.ctl_offsets[u + 1])
+        # One access per ctl byte of the unit (header + operand stream).
+        trace.extend(range(cb + lo, cb + hi))
+        e_lo, e_hi = int(du.offsets[u]), int(du.offsets[u + 1])
+        row = int(du.rows[u])
+        for e in range(e_lo, e_hi):
+            trace.append(va + e * 8)
+            trace.append(xb + int(du.columns[e]) * 8)
+        trace.append(yb + row * 8)
+    return np.asarray(trace, dtype=np.int64)
+
+
+def csr_vi_trace(matrix: CSRVIMatrix) -> np.ndarray:
+    """Address trace of one CSR-VI SpMV iteration (Fig. 5 kernel)."""
+    lay = _Layout()
+    rp = lay.add("row_ptr", matrix.row_ptr.nbytes)
+    ci = lay.add("col_ind", matrix.col_ind.nbytes)
+    vi = lay.add("val_ind", matrix.val_ind.nbytes)
+    vu = lay.add("vals_unique", matrix.vals_unique.nbytes)
+    xb = lay.add("x", matrix.ncols * 8)
+    yb = lay.add("y", matrix.nrows * 8)
+    isz = matrix.col_ind.dtype.itemsize
+    vsz = matrix.val_ind.dtype.itemsize
+    trace: list[int] = []
+    for i in range(matrix.nrows):
+        trace.append(rp + (i + 1) * matrix.row_ptr.dtype.itemsize)
+        for j in range(int(matrix.row_ptr[i]), int(matrix.row_ptr[i + 1])):
+            trace.append(ci + j * isz)
+            trace.append(vi + j * vsz)
+            trace.append(vu + int(matrix.val_ind[j]) * 8)
+            trace.append(xb + int(matrix.col_ind[j]) * 8)
+        trace.append(yb + i * 8)
+    return np.asarray(trace, dtype=np.int64)
+
+
+def format_trace(matrix: SparseMatrix) -> np.ndarray:
+    """Dispatch to the right trace generator."""
+    if isinstance(matrix, CSRVIMatrix):
+        return csr_vi_trace(matrix)
+    if isinstance(matrix, CSRDUMatrix):
+        return csr_du_trace(matrix)
+    if isinstance(matrix, CSRMatrix):
+        return csr_trace(matrix)
+    raise MachineModelError(
+        f"no trace generator for {type(matrix).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Steady-state measurement of one traced iteration.
+
+    ``dram_bytes`` is L2-miss lines x line size -- the quantity the
+    analytic model calls per-iteration traffic.
+    """
+
+    accesses: int
+    l1: CacheStats
+    l2: CacheStats
+    line_bytes: int
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.l2.misses * self.line_bytes
+
+
+def run_trace(
+    trace: np.ndarray,
+    *,
+    l1_bytes: int = 32 * 1024,
+    l1_assoc: int = 8,
+    l2_bytes: int = 4 * 1024 * 1024,
+    l2_assoc: int = 16,
+    line_bytes: int = 64,
+    repeats: int = 2,
+) -> TraceResult:
+    """Replay *trace* through an L1 + L2 hierarchy, ``repeats`` times.
+
+    Reports the **last** repetition (steady state; compulsory misses
+    amortized away, matching the paper's 128-iteration measurement).
+    """
+    if repeats < 1:
+        raise MachineModelError("repeats must be >= 1")
+    l1 = LRUCache(l1_bytes, assoc=l1_assoc, line_bytes=line_bytes)
+    l2 = LRUCache(l2_bytes, assoc=l2_assoc, line_bytes=line_bytes)
+    addresses = np.asarray(trace, dtype=np.int64).tolist()
+    last_l1 = last_l2 = CacheStats()
+    for _ in range(repeats):
+        l1_before = (l1.stats.accesses, l1.stats.hits)
+        l2_before = (l2.stats.accesses, l2.stats.hits)
+        for addr in addresses:
+            if not l1.access(addr):
+                l2.access(addr)
+        last_l1 = CacheStats(
+            accesses=l1.stats.accesses - l1_before[0],
+            hits=l1.stats.hits - l1_before[1],
+        )
+        last_l2 = CacheStats(
+            accesses=l2.stats.accesses - l2_before[0],
+            hits=l2.stats.hits - l2_before[1],
+        )
+    return TraceResult(
+        accesses=len(addresses), l1=last_l1, l2=last_l2, line_bytes=line_bytes
+    )

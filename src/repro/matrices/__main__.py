@@ -1,0 +1,80 @@
+"""Catalog inspection CLI: ``python -m repro.matrices [ids...]``.
+
+Prints each requested catalog matrix's recipe and realized statistics
+(at ``--scale``), or with no ids a summary table of the whole catalog's
+set structure.  Useful when deciding which ids to use in an experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.formats.conversions import convert
+from repro.matrices.collection import (
+    ALL_IDS,
+    M0_IDS,
+    M0_VI_IDS,
+    ML_IDS,
+    MS_IDS,
+    entry,
+    realize,
+)
+from repro.matrices.stats import compute_stats
+
+
+def _class_of(mid: int) -> str:
+    klass = "ML" if mid in ML_IDS else "MS" if mid in MS_IDS else "small"
+    if mid in M0_VI_IDS:
+        klass += "_vi"
+    return klass
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.matrices",
+        description="Inspect the 100-matrix reproduction catalog.",
+    )
+    parser.add_argument(
+        "ids", nargs="*", type=int, help="catalog ids to realize and describe"
+    )
+    parser.add_argument("--scale", type=float, default=1 / 32)
+    args = parser.parse_args(argv)
+
+    if not args.ids:
+        print(f"catalog: {len(ALL_IDS)} matrices "
+              f"(M0={len(M0_IDS)}, ML={len(ML_IDS)}, MS={len(MS_IDS)}, "
+              f"vi={len(M0_VI_IDS)})")
+        print(f"{'id':>4} {'name':<24} {'class':<9} {'ws target':>10} {'ttu target':>10}")
+        for mid in ALL_IDS:
+            e = entry(mid)
+            ttu = f"{e.ttu_target:.1f}" if e.ttu_target else "~1"
+            print(
+                f"{mid:>4} {e.name:<24} {_class_of(mid):<9} "
+                f"{e.ws_target_bytes / 2**20:>8.1f}MB {ttu:>10}"
+            )
+        return 0
+
+    for mid in args.ids:
+        e = entry(mid)
+        m = realize(mid, scale=args.scale)
+        s = compute_stats(m)
+        du = convert(m, "csr-du")
+        vi = convert(m, "csr-vi")
+        print(f"=== id {mid}: {e.name} ({_class_of(mid)}) at scale {args.scale:g} ===")
+        print(f"  shape {s.nrows}x{s.ncols}, nnz {s.nnz}, ws {s.ws_mb:.2f} MB")
+        print(f"  ttu {s.ttu:.1f} ({s.unique_values} unique values)")
+        print(f"  row lengths: mean {s.row_len_mean:.1f}, max {s.row_len_max}, "
+              f"std {s.row_len_std:.1f}, empty rows {s.empty_rows}")
+        print(f"  deltas: {100 * s.delta_u8_frac:.0f}% u8, "
+              f"{100 * s.delta_u16_frac:.0f}% u16; bandwidth {s.bandwidth}")
+        csr_st = convert(m, "csr").storage()
+        print(f"  csr-du index: {du.storage().index_bytes} B "
+              f"({du.storage().index_bytes / csr_st.index_bytes:.2f}x of CSR)")
+        print(f"  csr-vi value: {vi.storage().value_bytes} B "
+              f"({vi.storage().value_bytes / csr_st.value_bytes:.2f}x of CSR)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

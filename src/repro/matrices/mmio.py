@@ -1,0 +1,103 @@
+"""Matrix Market (.mtx) I/O.
+
+The paper's matrices come from the UF collection, which distributes
+Matrix Market files.  This reader/writer supports the subset those
+files use: ``matrix coordinate`` with ``real`` / ``integer`` /
+``pattern`` fields and ``general`` / ``symmetric`` /
+``skew-symmetric`` symmetries -- so real UF matrices can be dropped
+into the harness in place of the synthetic catalog when available.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.conversions import to_csr
+
+_SUPPORTED_FIELDS = ("real", "integer", "pattern")
+_SUPPORTED_SYMMETRIES = ("general", "symmetric", "skew-symmetric")
+
+
+def read_matrix_market(path_or_file) -> COOMatrix:
+    """Read a Matrix Market coordinate file into COO.
+
+    Symmetric storage is expanded (off-diagonal entries mirrored);
+    pattern files get unit values.
+    """
+    if hasattr(path_or_file, "read"):
+        return _read(path_or_file)
+    with open(path_or_file, "r", encoding="ascii") as fh:
+        return _read(fh)
+
+
+def _read(fh) -> COOMatrix:
+    header = fh.readline().strip().split()
+    if (
+        len(header) != 5
+        or header[0] != "%%MatrixMarket"
+        or header[1].lower() != "matrix"
+    ):
+        raise FormatError(f"not a MatrixMarket matrix header: {' '.join(header)}")
+    layout, field, symmetry = (
+        header[2].lower(),
+        header[3].lower(),
+        header[4].lower(),
+    )
+    if layout != "coordinate":
+        raise FormatError(f"only coordinate layout supported, got {layout!r}")
+    if field not in _SUPPORTED_FIELDS:
+        raise FormatError(f"unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRIES:
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+    line = fh.readline()
+    while line.startswith("%"):
+        line = fh.readline()
+    try:
+        nrows, ncols, nnz = (int(tok) for tok in line.split())
+    except ValueError:
+        raise FormatError(f"bad size line: {line!r}") from None
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    for k in range(nnz):
+        toks = fh.readline().split()
+        if len(toks) < (2 if field == "pattern" else 3):
+            raise FormatError(f"truncated entry at line {k + 1}")
+        rows[k] = int(toks[0]) - 1
+        cols[k] = int(toks[1]) - 1
+        vals[k] = 1.0 if field == "pattern" else float(toks[2])
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, rows[: off.size][off]])
+        vals = np.concatenate([vals, sign * vals[off]])
+    return COOMatrix(
+        nrows, ncols, rows.astype(np.int32), cols.astype(np.int32), vals
+    )
+
+
+def write_matrix_market(matrix: SparseMatrix, path_or_file) -> None:
+    """Write any format as a general real coordinate Matrix Market file."""
+    csr = to_csr(matrix)
+    coo = csr.to_coo()
+    buf = io.StringIO()
+    buf.write("%%MatrixMarket matrix coordinate real general\n")
+    buf.write("% written by repro (ICPP'08 SpMV compression reproduction)\n")
+    buf.write(f"{coo.nrows} {coo.ncols} {coo.nnz}\n")
+    for i, j, v in zip(coo.rows.tolist(), coo.cols.tolist(), coo.values.tolist()):
+        buf.write(f"{i + 1} {j + 1} {v!r}\n")
+    data = buf.getvalue()
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(data)
+    else:
+        Path(path_or_file).write_text(data, encoding="ascii")

@@ -1,0 +1,95 @@
+"""Matrix statistics: working set, ttu, row lengths, delta profile.
+
+These are the quantities the paper classifies matrices by (Section
+VI-B): the SpMV working set against the L2 capacity (MS / ML split) and
+the total-to-unique value ratio (the CSR-VI ttu > 5 criterion), plus
+structural statistics that explain CSR-DU behaviour (what fraction of
+column deltas fit one byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.base import SparseMatrix, working_set_bytes
+from repro.formats.conversions import to_csr
+from repro.util.bitops import width_class_array
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Summary statistics of one matrix (see :func:`compute_stats`)."""
+
+    nrows: int
+    ncols: int
+    nnz: int
+    ws_bytes: int
+    ttu: float
+    unique_values: int
+    row_len_mean: float
+    row_len_max: int
+    row_len_std: float
+    empty_rows: int
+    delta_u8_frac: float
+    delta_u16_frac: float
+    bandwidth: int
+
+    @property
+    def ws_mb(self) -> float:
+        return self.ws_bytes / (1024 * 1024)
+
+    def in_m0(self, l2_bytes: int = 4 * 1024 * 1024) -> bool:
+        """The paper's M0 criterion: ws >= 3/4 of the L2 capacity."""
+        return self.ws_bytes >= 0.75 * l2_bytes
+
+    def in_ml(self, l2_bytes: int = 4 * 1024 * 1024) -> bool:
+        """The paper's ML criterion: ws >= 4 * L2 + 1 MB."""
+        return self.ws_bytes >= 4 * l2_bytes + 1024 * 1024
+
+    def vi_applicable(self, threshold: float = 5.0) -> bool:
+        """The paper's CSR-VI criterion: ttu > 5."""
+        return self.ttu > threshold
+
+
+def compute_stats(matrix: SparseMatrix) -> MatrixStats:
+    """Compute :class:`MatrixStats` for any format (via its CSR view)."""
+    csr = to_csr(matrix)
+    lens = csr.row_lengths()
+    cols = csr.col_ind.astype(np.int64)
+    nnz = csr.nnz
+    # Column deltas within rows (first-of-row delta measured from col 0,
+    # matching the CSR-DU ujmp semantics).
+    if nnz:
+        deltas = np.empty(nnz, dtype=np.int64)
+        deltas[0] = cols[0]
+        deltas[1:] = cols[1:] - cols[:-1]
+        starts = csr.row_ptr[:-1].astype(np.int64)
+        starts = starts[(lens > 0)]
+        deltas[starts] = cols[starts]
+        classes = width_class_array(np.abs(deltas))
+        u8 = float(np.count_nonzero(classes == 0)) / nnz
+        u16 = float(np.count_nonzero(classes == 1)) / nnz
+        rows_of = csr.row_of_entry()
+        bandwidth = int(np.abs(cols - rows_of).max()) if csr.nrows == csr.ncols else 0
+        unique = int(np.unique(csr.values).size)
+    else:
+        u8 = u16 = 0.0
+        bandwidth = 0
+        unique = 0
+    return MatrixStats(
+        nrows=csr.nrows,
+        ncols=csr.ncols,
+        nnz=nnz,
+        ws_bytes=working_set_bytes(csr),
+        ttu=nnz / unique if unique else 0.0,
+        unique_values=unique,
+        row_len_mean=float(lens.mean()) if lens.size else 0.0,
+        row_len_max=int(lens.max()) if lens.size else 0,
+        row_len_std=float(lens.std()) if lens.size else 0.0,
+        empty_rows=int(np.count_nonzero(lens == 0)),
+        delta_u8_frac=u8,
+        delta_u16_frac=u16,
+        bandwidth=bandwidth,
+    )

@@ -1,0 +1,80 @@
+"""Value models: control a matrix's total-to-unique ratio.
+
+The CSR-VI study (Section V) hinges on value redundancy, which the
+structure generators know nothing about.  These helpers re-value an
+existing matrix:
+
+* :func:`continuous_values` -- i.i.d. uniform doubles: essentially all
+  unique (ttu ~ 1), CSR-VI's worst case;
+* :func:`quantized_values` -- values drawn from a pool of exactly
+  ``unique_count`` distinct doubles, i.e. ttu = nnz / unique_count by
+  construction (physics matrices with few material coefficients, or
+  pattern matrices with 0/1 entries, behave like this -- the paper
+  finds ~39% of its real set has ttu > 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.formats.base import SparseMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.conversions import to_csr
+from repro.formats.csr import CSRMatrix
+
+
+def continuous_values(nnz: int, seed: int) -> np.ndarray:
+    """All-distinct values in (0.5, 1.5) (away from 0 for solver use)."""
+    if nnz < 0:
+        raise CatalogError("nnz must be non-negative")
+    rng = np.random.default_rng(seed)
+    return rng.random(nnz) + 0.5
+
+
+def quantized_values(nnz: int, unique_count: int, seed: int) -> np.ndarray:
+    """Values drawn uniformly from *unique_count* distinct doubles.
+
+    Every pool value is guaranteed to appear at least once when
+    ``nnz >= unique_count``, so the realized ttu equals
+    ``nnz / unique_count`` exactly.
+    """
+    if unique_count < 1:
+        raise CatalogError("unique_count must be >= 1")
+    if nnz < unique_count:
+        raise CatalogError(
+            f"nnz={nnz} cannot realize {unique_count} distinct values"
+        )
+    rng = np.random.default_rng(seed)
+    pool = np.sort(rng.random(unique_count) + 0.5)
+    # Guarantee full pool coverage, then fill the rest uniformly.
+    idx = np.concatenate(
+        [
+            np.arange(unique_count),
+            rng.integers(0, unique_count, size=nnz - unique_count),
+        ]
+    )
+    rng.shuffle(idx)
+    return pool[idx]
+
+
+def set_matrix_values(matrix: SparseMatrix, values: np.ndarray) -> CSRMatrix:
+    """Return a CSR copy of *matrix* with its nonzero values replaced.
+
+    *values* must match the nonzero count; the sparsity pattern is
+    untouched.
+    """
+    csr = to_csr(matrix)
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (csr.nnz,):
+        raise CatalogError(
+            f"got {values.shape[0] if values.ndim else 0} values "
+            f"for {csr.nnz} nonzeros"
+        )
+    return CSRMatrix(csr.nrows, csr.ncols, csr.row_ptr, csr.col_ind, values)
+
+
+def pattern_values(matrix: COOMatrix | SparseMatrix) -> CSRMatrix:
+    """All-ones values (pattern matrices; ttu = nnz)."""
+    csr = to_csr(matrix)
+    return set_matrix_values(csr, np.ones(csr.nnz))

@@ -1,0 +1,17 @@
+"""Segmented NumPy primitives underlying the vectorized kernels."""
+
+from repro.nputil.segops import (
+    segment_ids_from_offsets,
+    segment_lengths,
+    segmented_cumsum,
+    segmented_reduce,
+    first_in_segment_mask,
+)
+
+__all__ = [
+    "segment_ids_from_offsets",
+    "segment_lengths",
+    "segmented_cumsum",
+    "segmented_reduce",
+    "first_in_segment_mask",
+]

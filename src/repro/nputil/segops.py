@@ -1,0 +1,121 @@
+"""Segmented array operations.
+
+A *segmentation* of a length-``n`` array is given CSR-style by an offsets
+array ``off`` of length ``nseg + 1`` with ``off[0] == 0``,
+``off[-1] == n`` and ``off`` non-decreasing; segment ``s`` is the slice
+``[off[s], off[s+1])``.  Empty segments are allowed everywhere -- sparse
+matrices have empty rows, and every helper here is tested against them.
+
+These primitives are the substrate of the vectorized SpMV kernels:
+
+* CSR's row reduction is :func:`segmented_reduce` over ``row_ptr``;
+* CSR-DU's on-the-fly delta decoding is :func:`segmented_cumsum` over the
+  unit boundaries (each unit's column indices are the running sum of its
+  deltas, restarting at the unit's initial column).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+
+
+def _check_offsets(offsets: np.ndarray, n: int) -> np.ndarray:
+    offsets = np.asarray(offsets)
+    if offsets.ndim != 1 or offsets.size == 0:
+        raise FormatError("offsets must be a non-empty 1-D array")
+    if offsets[0] != 0 or offsets[-1] != n:
+        raise FormatError(
+            f"offsets must start at 0 and end at {n}, got [{offsets[0]}, {offsets[-1]}]"
+        )
+    if np.any(np.diff(offsets) < 0):
+        raise FormatError("offsets must be non-decreasing")
+    return offsets
+
+
+def segment_lengths(offsets: np.ndarray) -> np.ndarray:
+    """Lengths of each segment: ``diff(offsets)``."""
+    return np.diff(np.asarray(offsets))
+
+
+def segment_ids_from_offsets(offsets: np.ndarray, n: int) -> np.ndarray:
+    """Expand CSR-style *offsets* into a per-element segment-id array.
+
+    >>> segment_ids_from_offsets(np.array([0, 2, 2, 5]), 5).tolist()
+    [0, 0, 2, 2, 2]
+    """
+    offsets = _check_offsets(offsets, n)
+    nseg = offsets.size - 1
+    return np.repeat(np.arange(nseg, dtype=np.intp), segment_lengths(offsets))
+
+
+def first_in_segment_mask(offsets: np.ndarray, n: int) -> np.ndarray:
+    """Boolean mask marking the first element of each non-empty segment."""
+    offsets = _check_offsets(offsets, n)
+    mask = np.zeros(n, dtype=bool)
+    starts = np.asarray(offsets[:-1])
+    lens = segment_lengths(offsets)
+    mask[starts[lens > 0]] = True
+    return mask
+
+
+def segmented_cumsum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Inclusive cumulative sum restarting at each segment boundary.
+
+    >>> segmented_cumsum(np.array([1, 2, 3, 4]), np.array([0, 2, 4])).tolist()
+    [1, 3, 3, 7]
+
+    Implemented with the standard "global cumsum minus per-segment base"
+    trick, so it is a handful of vectorized passes regardless of how many
+    segments there are.
+    """
+    values = np.asarray(values)
+    offsets = _check_offsets(offsets, values.size)
+    if values.size == 0:
+        return values.copy()
+    total = np.cumsum(values)
+    starts = np.asarray(offsets[:-1], dtype=np.intp)
+    lens = segment_lengths(offsets)
+    nonempty = starts[lens > 0]
+    # Base for segment starting at s is total[s-1] (0 for s == 0).
+    bases = np.zeros(nonempty.size, dtype=total.dtype)
+    inner = nonempty > 0
+    bases[inner] = total[nonempty[inner] - 1]
+    # Scatter bases and broadcast them forward within each segment.
+    per_elem_base = np.zeros(values.size, dtype=total.dtype)
+    per_elem_base[nonempty] = bases
+    seg_of = np.cumsum(first_in_segment_mask(offsets, values.size)) - 1
+    per_elem_base = per_elem_base[nonempty][seg_of]
+    return total - per_elem_base
+
+
+def segmented_reduce(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Sum of each segment; empty segments contribute ``0``.
+
+    This is ``np.add.reduceat`` made safe for empty segments (reduceat's
+    documented behaviour for an empty slice is to return the *single
+    element at the start index*, which is wrong for our purposes).
+
+    >>> segmented_reduce(np.array([1., 2., 3.]), np.array([0, 2, 2, 3])).tolist()
+    [3.0, 0.0, 3.0]
+    """
+    values = np.asarray(values)
+    offsets = _check_offsets(offsets, values.size)
+    nseg = offsets.size - 1
+    out_dtype = values.dtype if values.dtype.kind == "f" else np.result_type(values.dtype, np.int64)
+    if nseg == 0:
+        return np.empty(0, dtype=out_dtype)
+    if values.size == 0:
+        return np.zeros(nseg, dtype=out_dtype)
+    starts = np.asarray(offsets[:-1], dtype=np.intp)
+    lens = segment_lengths(offsets)
+    out = np.zeros(nseg, dtype=out_dtype)
+    nonempty = lens > 0
+    if not np.any(nonempty):
+        return out
+    # reduceat over the starts of non-empty segments only, then scatter.
+    ne_starts = starts[nonempty]
+    reduced = np.add.reduceat(values.astype(out_dtype, copy=False), ne_starts)
+    out[nonempty] = reduced
+    return out

@@ -1,0 +1,28 @@
+"""Parallelization of SpMV: work partitioning and a threaded executor."""
+
+from repro.parallel.partition import (
+    BlockPartition,
+    ColumnPartition,
+    RowPartition,
+    balance_by_nnz,
+    block_partition,
+    column_partition,
+    row_partition,
+)
+from repro.parallel.block_executor import BlockParallelSpMV
+from repro.parallel.column_executor import ColumnParallelSpMV
+from repro.parallel.executor import ParallelSpMV, reduce_partial_results
+
+__all__ = [
+    "RowPartition",
+    "ColumnPartition",
+    "BlockPartition",
+    "balance_by_nnz",
+    "row_partition",
+    "column_partition",
+    "block_partition",
+    "ParallelSpMV",
+    "ColumnParallelSpMV",
+    "BlockParallelSpMV",
+    "reduce_partial_results",
+]

@@ -1,0 +1,76 @@
+"""Column-partitioned multithreaded SpMV (Section II-C, second scheme).
+
+Each thread owns a contiguous block of *columns* (and the matching
+slice of ``x``), accumulates into a **private** ``y`` copy -- the
+paper's prescription for avoiding cache-line ping-pong on shared ``y``
+-- and the copies are reduced at the end of every multiplication.
+
+Compared to row partitioning this trades an ``O(threads * nrows)``
+reduction for better ``x`` locality; the paper leaves the scheme
+comparison to future work, and :func:`compare_partitionings` in
+``examples/scaling_study.py``-style studies can use both executors to
+explore it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.formats.base import SparseMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.conversions import to_csr
+from repro.parallel.executor import reduce_partial_results
+from repro.parallel.partition import ColumnPartition, column_partition
+
+
+class ColumnParallelSpMV:
+    """Column-partitioned SpMV over CSC chunks with private ``y`` copies."""
+
+    def __init__(self, matrix: SparseMatrix, nthreads: int):
+        if nthreads < 1:
+            raise PartitionError(f"nthreads must be >= 1, got {nthreads}")
+        csc = CSCMatrix.from_csr(to_csr(matrix))
+        self.nrows, self.ncols = csc.shape
+        self.nthreads = nthreads
+        self.partition: ColumnPartition = column_partition(csc.col_ptr, nthreads)
+        self.chunks: list[CSCMatrix] = [
+            csc.col_slice(*self.partition.cols_of(t)) for t in range(nthreads)
+        ]
+        # Private y per thread, reused across calls.
+        self._partials = [np.zeros(self.nrows) for _ in range(nthreads)]
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(max_workers=nthreads) if nthreads > 1 else None
+        )
+
+    def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise PartitionError(f"x has shape {x.shape}, expected ({self.ncols},)")
+
+        def work(t: int) -> np.ndarray:
+            lo, hi = self.partition.cols_of(t)
+            return self.chunks[t].spmv(x[lo:hi], out=self._partials[t])
+
+        if self._pool is None:
+            partials = [work(0)]
+        else:
+            partials = list(self._pool.map(work, range(self.nthreads)))
+        y = reduce_partial_results(partials)
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ColumnParallelSpMV":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,108 @@
+"""Threaded SpMV execution.
+
+:class:`ParallelSpMV` realizes the paper's multithreaded kernel: the
+matrix is split once (row partitioning, static nnz balancing), each
+thread owns a contiguous block of rows of ``y``, and every call runs
+the per-thread kernels concurrently on a persistent thread pool.
+
+Honesty note (also in DESIGN.md): NumPy releases the GIL inside its
+array operations, so the vectorized kernels do overlap -- but this
+container has a single CPU and CPython serializes the Python-level
+bookkeeping, so *measured* wall-clock scaling here says nothing about
+the paper's question.  The executor exists so the code path is real and
+testable (results must be bit-identical to serial execution); the
+scaling numbers in the tables come from :mod:`repro.machine`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.formats.base import SparseMatrix
+from repro.formats.conversions import convert, to_csr
+from repro.formats.csr import CSRMatrix
+from repro.parallel.partition import RowPartition, row_partition
+
+
+def reduce_partial_results(partials: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum per-thread ``y`` copies (the column-partitioning reduction)."""
+    if not partials:
+        raise PartitionError("no partial results to reduce")
+    out = np.array(partials[0], dtype=np.float64, copy=True)
+    for p in partials[1:]:
+        out += p
+    return out
+
+
+class ParallelSpMV:
+    """Row-partitioned multithreaded SpMV over any registered format.
+
+    Parameters
+    ----------
+    matrix:
+        Source matrix (any format; it is normalized through CSR once).
+    nthreads:
+        Worker count.  The per-thread chunks are built at construction
+        (the paper's setup cost) and reused by every :meth:`__call__`.
+    format_name:
+        Storage format for the per-thread chunks (``"csr"``,
+        ``"csr-du"``, ``"csr-vi"``, ...).
+    format_kwargs:
+        Extra arguments for the chunk conversion (e.g. ``policy=``).
+    """
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        nthreads: int,
+        *,
+        format_name: str = "csr",
+        **format_kwargs,
+    ):
+        if nthreads < 1:
+            raise PartitionError(f"nthreads must be >= 1, got {nthreads}")
+        csr = to_csr(matrix)
+        self.nrows, self.ncols = csr.shape
+        self.nthreads = nthreads
+        self.partition: RowPartition = row_partition(csr.row_ptr, nthreads)
+        self.chunks: list[SparseMatrix] = []
+        for t in range(nthreads):
+            lo, hi = self.partition.rows_of(t)
+            chunk_csr: CSRMatrix = csr.row_slice(lo, hi)
+            self.chunks.append(convert(chunk_csr, format_name, **format_kwargs))
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(max_workers=nthreads) if nthreads > 1 else None
+        )
+
+    def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``y = A x`` with all threads; returns ``y``."""
+        x = np.asarray(x, dtype=np.float64)
+        y = out if out is not None else np.empty(self.nrows, dtype=np.float64)
+
+        def work(t: int) -> None:
+            lo, hi = self.partition.rows_of(t)
+            y[lo:hi] = self.chunks[t].spmv(x)
+
+        if self._pool is None:
+            work(0)
+        else:
+            # Submitting all and collecting results propagates worker
+            # exceptions instead of deadlocking on them.
+            list(self._pool.map(work, range(self.nthreads)))
+        return y
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelSpMV":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,26 @@
+"""Iterative solvers built on the public SpMV API.
+
+The paper motivates SpMV as "the basic operation of iterative solvers,
+such as Conjugate Gradient (CG) and Generalized Minimum Residual
+(GMRES)" (Section I).  These implementations consume any
+:class:`~repro.formats.base.SparseMatrix` -- compressed formats drop in
+transparently, which is exactly the deployment story of CSR-DU/CSR-VI:
+encode once, iterate many times.
+"""
+
+from repro.solvers.bicgstab import bicgstab
+from repro.solvers.cg import conjugate_gradient, preconditioned_cg
+from repro.solvers.gmres import gmres
+from repro.solvers.jacobi import jacobi
+from repro.solvers.power import power_iteration
+from repro.solvers.result import SolveResult
+
+__all__ = [
+    "bicgstab",
+    "conjugate_gradient",
+    "preconditioned_cg",
+    "gmres",
+    "jacobi",
+    "power_iteration",
+    "SolveResult",
+]

@@ -1,0 +1,110 @@
+"""Restarted GMRES (Generalized Minimum Residual) for general systems."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseMatrix
+from repro.solvers.result import SolveResult
+
+
+def gmres(
+    A: SparseMatrix,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    restart: int = 30,
+    maxiter: int = 1000,
+) -> SolveResult:
+    """Solve ``A x = b`` with GMRES(restart).
+
+    Arnoldi with modified Gram-Schmidt; the least-squares problem on
+    the Hessenberg matrix is solved with Givens rotations so the
+    residual norm is tracked for free.  ``maxiter`` counts total inner
+    iterations (SpMV calls in the Arnoldi loop).
+    """
+    nrows, ncols = A.shape
+    if nrows != ncols:
+        raise FormatError(f"GMRES needs a square matrix, got {A.shape}")
+    if restart < 1:
+        raise FormatError(f"restart must be >= 1, got {restart}")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (nrows,):
+        raise FormatError(f"b has shape {b.shape}, expected ({nrows},)")
+    x = np.zeros(nrows) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    spmv_calls = 0
+    total_inner = 0
+
+    while total_inner < maxiter:
+        r = b - A.spmv(x)
+        spmv_calls += 1
+        beta = float(np.linalg.norm(r))
+        if beta <= tol * bnorm:
+            return SolveResult(
+                x=x, iterations=total_inner, residual=beta, converged=True,
+                spmv_calls=spmv_calls,
+            )
+        m = min(restart, maxiter - total_inner)
+        V = np.zeros((m + 1, nrows))
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        V[0] = r / beta
+        g[0] = beta
+        k_done = 0
+        for k in range(m):
+            w = A.spmv(V[k])
+            spmv_calls += 1
+            total_inner += 1
+            for i in range(k + 1):  # modified Gram-Schmidt
+                H[i, k] = float(w @ V[i])
+                w -= H[i, k] * V[i]
+            H[k + 1, k] = float(np.linalg.norm(w))
+            if H[k + 1, k] > 1e-14:
+                V[k + 1] = w / H[k + 1, k]
+            # Apply previous Givens rotations to the new column.
+            for i in range(k):
+                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                H[i, k] = t
+            denom = float(np.hypot(H[k, k], H[k + 1, k]))
+            if denom == 0.0:
+                cs[k], sn[k] = 1.0, 0.0
+            else:
+                cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
+            H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            k_done = k + 1
+            if abs(g[k + 1]) <= tol * bnorm:
+                break
+        # Back-substitute the upper-triangular system H[:k_done,:k_done].
+        y = np.zeros(k_done)
+        for i in range(k_done - 1, -1, -1):
+            y[i] = (g[i] - H[i, i + 1 : k_done] @ y[i + 1 :]) / H[i, i]
+        x += V[:k_done].T @ y
+        if abs(g[k_done]) <= tol * bnorm:
+            r = b - A.spmv(x)
+            spmv_calls += 1
+            return SolveResult(
+                x=x,
+                iterations=total_inner,
+                residual=float(np.linalg.norm(r)),
+                converged=True,
+                spmv_calls=spmv_calls,
+            )
+    r = b - A.spmv(x)
+    spmv_calls += 1
+    rnorm = float(np.linalg.norm(r))
+    return SolveResult(
+        x=x,
+        iterations=total_inner,
+        residual=rnorm,
+        converged=bool(rnorm <= tol * bnorm),
+        spmv_calls=spmv_calls,
+    )

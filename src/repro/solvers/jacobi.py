@@ -1,0 +1,62 @@
+"""Jacobi (diagonal-preconditioned fixed-point) iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError, FormatError
+from repro.formats.base import SparseMatrix
+from repro.formats.conversions import to_csr
+from repro.solvers.result import SolveResult
+
+
+def _diagonal(A: SparseMatrix) -> np.ndarray:
+    csr = to_csr(A)
+    diag = np.zeros(csr.nrows)
+    rows = csr.row_of_entry()
+    on_diag = rows == csr.col_ind
+    diag[rows[on_diag]] = csr.values[on_diag]
+    return diag
+
+
+def jacobi(
+    A: SparseMatrix,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    maxiter: int = 10_000,
+    omega: float = 1.0,
+) -> SolveResult:
+    """Solve ``A x = b`` with (weighted) Jacobi iteration.
+
+    ``x <- x + omega * D^-1 (b - A x)``.  Converges for diagonally
+    dominant matrices; stops on ``||r|| <= tol * ||b||``.
+    """
+    nrows, ncols = A.shape
+    if nrows != ncols:
+        raise FormatError(f"Jacobi needs a square matrix, got {A.shape}")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (nrows,):
+        raise FormatError(f"b has shape {b.shape}, expected ({nrows},)")
+    diag = _diagonal(A)
+    if np.any(diag == 0):
+        raise ConvergenceError(
+            "Jacobi requires a zero-free diagonal", iterations=0, residual=float("inf")
+        )
+    x = np.zeros(nrows) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    spmv_calls = 0
+    rnorm = float("inf")
+    for k in range(1, maxiter + 1):
+        r = b - A.spmv(x)
+        spmv_calls += 1
+        rnorm = float(np.linalg.norm(r))
+        if rnorm <= tol * bnorm:
+            return SolveResult(
+                x=x, iterations=k - 1, residual=rnorm, converged=True, spmv_calls=spmv_calls
+            )
+        x += omega * r / diag
+    return SolveResult(
+        x=x, iterations=maxiter, residual=rnorm, converged=False, spmv_calls=spmv_calls
+    )

@@ -1,0 +1,34 @@
+"""Common result type for the iterative solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of an iterative solve.
+
+    Attributes
+    ----------
+    x:
+        The computed solution (or eigenvector for power iteration).
+    iterations:
+        Iterations performed.
+    residual:
+        Final residual norm (for power iteration: eigenvalue estimate
+        change at the last step).
+    converged:
+        Whether the tolerance was met within the iteration budget.
+    spmv_calls:
+        Number of SpMV invocations consumed -- the quantity the paper's
+        optimization actually accelerates.
+    """
+
+    x: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+    spmv_calls: int

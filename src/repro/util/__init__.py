@@ -1,0 +1,36 @@
+"""Low-level utilities shared by the rest of the library."""
+
+from repro.util.bitops import (
+    decode_varint,
+    decode_varint_array,
+    encode_varint,
+    encode_varint_array,
+    varint_size,
+    width_class,
+    width_class_array,
+    WIDTH_BYTES,
+)
+from repro.util.timing import Timer, measure
+from repro.util.validation import (
+    as_index_array,
+    as_value_array,
+    check_dimensions,
+    check_monotone,
+)
+
+__all__ = [
+    "decode_varint",
+    "decode_varint_array",
+    "encode_varint",
+    "encode_varint_array",
+    "varint_size",
+    "width_class",
+    "width_class_array",
+    "WIDTH_BYTES",
+    "Timer",
+    "measure",
+    "as_index_array",
+    "as_value_array",
+    "check_dimensions",
+    "check_monotone",
+]

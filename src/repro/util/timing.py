@@ -1,0 +1,92 @@
+"""Wall-clock measurement helpers.
+
+The paper times 128 consecutive SpMV operations; :func:`measure` mirrors
+that protocol (a fixed number of back-to-back calls, reporting the mean
+per-call time) while :class:`Timer` is a small context-manager stopwatch
+for ad-hoc instrumentation.
+
+These are used only by the *real* clock of the benchmark harness; the
+paper-shaped results come from the machine model, which does not depend
+on this container's hardware.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+
+    Re-entering accumulates, so one ``Timer`` can wrap each iteration of
+    a loop and report the total.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: int | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None, "Timer exited without entering"
+        self.elapsed += (time.perf_counter_ns() - self._start) * 1e-9
+        self._start = None
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Result of :func:`measure`.
+
+    Attributes
+    ----------
+    per_call:
+        Mean seconds per call over the best repetition.
+    total:
+        Total seconds of the best repetition.
+    calls:
+        Calls per repetition.
+    repeats:
+        Repetitions performed.
+    all_repeats:
+        Per-repetition total seconds, best first not guaranteed.
+    """
+
+    per_call: float
+    total: float
+    calls: int
+    repeats: int
+    all_repeats: tuple[float, ...] = field(default_factory=tuple)
+
+
+def measure(func, *, calls: int = 128, repeats: int = 3) -> Measurement:
+    """Time ``calls`` back-to-back invocations of *func*, ``repeats`` times.
+
+    Returns the repetition with the smallest total (the standard guard
+    against OS noise); per-call time is that total divided by *calls*.
+    """
+    if calls < 1 or repeats < 1:
+        raise ValueError("calls and repeats must be >= 1")
+    totals = []
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        for _ in range(calls):
+            func()
+        totals.append((time.perf_counter_ns() - start) * 1e-9)
+    best = min(totals)
+    return Measurement(
+        per_call=best / calls,
+        total=best,
+        calls=calls,
+        repeats=repeats,
+        all_repeats=tuple(totals),
+    )

@@ -1,0 +1,75 @@
+"""Input validation helpers used by format constructors.
+
+The formats accept anything array-like; these helpers normalize to the
+canonical dtypes used throughout the library (matching the paper's
+experimental setup: 32-bit indices, 64-bit values) and raise
+:class:`~repro.errors.FormatError` with a precise message on bad input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+
+#: Canonical index dtype (the paper uses 32-bit indices).
+INDEX_DTYPE = np.dtype(np.int32)
+
+#: Canonical value dtype (the paper uses 64-bit floating point values).
+VALUE_DTYPE = np.dtype(np.float64)
+
+
+def as_index_array(data, name: str, dtype=INDEX_DTYPE) -> np.ndarray:
+    """Return *data* as a 1-D contiguous integer array of *dtype*.
+
+    Float inputs are rejected (silently truncating indices is a classic
+    data-corruption bug); integer inputs of any width are converted,
+    checking for overflow of the target dtype.
+    """
+    arr = np.asarray(data)
+    if arr.ndim != 1:
+        raise FormatError(f"{name} must be 1-D, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise FormatError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    info = np.iinfo(dtype)
+    if arr.size:
+        lo, hi = int(arr.min()), int(arr.max())
+        if lo < info.min or hi > info.max:
+            raise FormatError(
+                f"{name} values [{lo}, {hi}] overflow index dtype {dtype}"
+            )
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
+def as_value_array(data, name: str, dtype=VALUE_DTYPE) -> np.ndarray:
+    """Return *data* as a 1-D contiguous floating array of *dtype*."""
+    arr = np.asarray(data)
+    if arr.ndim != 1:
+        raise FormatError(f"{name} must be 1-D, got shape {arr.shape}")
+    if not (np.issubdtype(arr.dtype, np.floating) or np.issubdtype(arr.dtype, np.integer)):
+        raise FormatError(f"{name} must be numeric, got dtype {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
+def check_dimensions(nrows: int, ncols: int) -> tuple[int, int]:
+    """Validate a matrix shape; return it as a plain ``(int, int)`` tuple."""
+    nrows, ncols = int(nrows), int(ncols)
+    if nrows < 0 or ncols < 0:
+        raise FormatError(f"matrix shape ({nrows}, {ncols}) must be non-negative")
+    return nrows, ncols
+
+
+def check_monotone(arr: np.ndarray, name: str) -> None:
+    """Require *arr* to be non-decreasing (row_ptr-style offset arrays)."""
+    if arr.size > 1 and np.any(np.diff(arr) < 0):
+        raise FormatError(f"{name} must be non-decreasing")
+
+
+def check_in_range(arr: np.ndarray, upper: int, name: str) -> None:
+    """Require every element of *arr* to lie in ``[0, upper)``."""
+    if arr.size:
+        lo, hi = int(arr.min()), int(arr.max())
+        if lo < 0 or hi >= upper:
+            raise FormatError(
+                f"{name} values [{lo}, {hi}] out of range [0, {upper})"
+            )

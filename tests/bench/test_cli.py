@@ -1,0 +1,45 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCLI:
+    def test_table2(self, capsys):
+        assert main(["table2", "--scale", "0.015625", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert (
+            main(["table3", "table4", "--scale", "0.015625", "--limit", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table III" in out and "Table IV" in out
+
+    def test_fig_with_limit(self, capsys):
+        assert main(["fig8", "--scale", "0.015625", "--limit", "2"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "results.txt"
+        assert (
+            main(
+                [
+                    "table2",
+                    "--scale",
+                    "0.015625",
+                    "--limit",
+                    "2",
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        assert "Table II" in out_file.read_text()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["tableX", "--scale", "0.015625"])

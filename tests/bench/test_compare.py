@@ -1,0 +1,79 @@
+"""Tests for the run-comparison tool."""
+
+import pytest
+
+from repro.bench.compare import Deviation, compare_runs, format_comparison, main
+from repro.bench.experiments import table4
+from repro.bench.harness import ExperimentConfig
+from repro.bench.record import record_run
+
+SCALE = 1 / 64
+
+
+@pytest.fixture(scope="module")
+def run_file(tmp_path_factory):
+    config = ExperimentConfig(scale=SCALE)
+    path = tmp_path_factory.mktemp("runs") / "run.json"
+    record_run({"table4": table4(config, limit=2)}, config, path)
+    return path
+
+
+class TestCompareRuns:
+    def test_identical_runs_no_deviation(self, run_file):
+        from repro.bench.record import load_run
+
+        run = load_run(run_file)
+        deviations, mismatches = compare_runs(run, run)
+        assert mismatches == []
+        assert all(d.relative == 0.0 for d in deviations)
+        assert len(deviations) > 10
+
+    def test_detects_change(self, run_file):
+        from repro.bench.record import load_run
+
+        a = load_run(run_file)
+        b = load_run(run_file)
+        # Perturb one leaf.
+        key = next(iter(b["experiments"]["table4"]["rows"]))
+        b["experiments"]["table4"]["rows"][key]["ML_vi"][0] *= 1.5
+        deviations, _ = compare_runs(a, b)
+        moved = [d for d in deviations if d.relative > 0.01]
+        assert len(moved) == 1
+        assert "ML_vi" in moved[0].path
+
+    def test_structure_mismatch(self, run_file):
+        from repro.bench.record import load_run
+
+        a = load_run(run_file)
+        b = load_run(run_file)
+        del b["experiments"]["table4"]["format_name"]
+        b["experiments"]["extra"] = {"x": 1}
+        _, mismatches = compare_runs(a, b)
+        assert any("extra" in m for m in mismatches)
+
+
+class TestFormatting:
+    def test_summary(self):
+        devs = [Deviation(path="a.b", old=1.0, new=1.2)]
+        text = format_comparison(devs, [], tolerance=0.05)
+        assert "1 moved" in text
+        assert "a.b" in text
+
+    def test_relative_handles_zero(self):
+        assert Deviation(path="p", old=0.0, new=0.0).relative == 0.0
+
+
+class TestCLI:
+    def test_identical_exit_zero(self, run_file, capsys):
+        assert main([str(run_file), str(run_file)]) == 0
+        assert "0 moved" in capsys.readouterr().out
+
+    def test_changed_exit_one(self, run_file, tmp_path, capsys):
+        import json
+
+        data = json.loads(run_file.read_text())
+        key = next(iter(data["experiments"]["table4"]["rows"]))
+        data["experiments"]["table4"]["rows"][key]["M0_vi"][0] *= 2
+        other = tmp_path / "changed.json"
+        other.write_text(json.dumps(data))
+        assert main([str(run_file), str(other)]) == 1

@@ -1,0 +1,96 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    SPEEDUP_THREADS,
+    TABLE2_CONFIGS,
+    ExperimentConfig,
+    aggregate,
+    count_slowdowns,
+    run_format_matrix,
+    run_set,
+)
+from repro.errors import ReproError
+from repro.matrices.collection import realize
+
+SCALE = 1 / 64
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return realize(47, scale=SCALE)
+
+
+class TestRunFormatMatrix:
+    def test_model_clock(self, matrix, config):
+        res = run_format_matrix(matrix, "csr", config, matrix_id=47)
+        assert res.matrix_id == 47
+        assert set(res.times) == set(TABLE2_CONFIGS)
+        assert all(t > 0 for t in res.times.values())
+        assert all(b in ("compute", "core-bw", "die-bw", "l2-bw", "fsb", "mem")
+                   for b in res.bounds.values())
+
+    def test_size_reduction_sign(self, matrix, config):
+        du = run_format_matrix(matrix, "csr-du", config)
+        assert 0.0 < du.size_reduction < 0.5
+        csr = run_format_matrix(matrix, "csr", config)
+        assert csr.size_reduction == 0.0
+
+    def test_speedup_vs(self, matrix, config):
+        csr = run_format_matrix(matrix, "csr", config)
+        vi = run_format_matrix(matrix, "csr-vi", config)
+        key = (8, "close")
+        sp = vi.speedup_vs(csr, key)
+        assert sp == pytest.approx(csr.times[key] / vi.times[key])
+
+    def test_scaling(self, matrix, config):
+        csr = run_format_matrix(matrix, "csr", config)
+        assert csr.scaling((1, "close")) == 1.0
+        assert csr.scaling((8, "close")) > 0.5
+
+    def test_real_clock_serial(self, matrix):
+        config = ExperimentConfig(scale=SCALE, clock="real", real_calls=2)
+        res = run_format_matrix(
+            matrix, "csr", config, configs=((1, "close"),)
+        )
+        assert res.times[(1, "close")] > 0
+        assert res.bounds[(1, "close")] == "wallclock"
+
+    def test_real_clock_rejects_threads(self, matrix):
+        config = ExperimentConfig(scale=SCALE, clock="real")
+        with pytest.raises(ReproError, match="serial"):
+            run_format_matrix(matrix, "csr", config, configs=((2, "close"),))
+
+    def test_unknown_clock(self, matrix):
+        config = ExperimentConfig(scale=SCALE, clock="sundial")
+        with pytest.raises(ReproError, match="clock"):
+            run_format_matrix(matrix, "csr", config)
+
+
+class TestRunSet:
+    def test_structure(self, config):
+        out = run_set((41, 47), ("csr", "csr-vi"), config)
+        assert set(out) == {41, 47}
+        assert set(out[41]) == {"csr", "csr-vi"}
+
+    def test_speedup_threads_constant(self):
+        assert SPEEDUP_THREADS == (1, 2, 4, 8)
+
+
+class TestAggregation:
+    def test_aggregate(self):
+        assert aggregate([1.0, 2.0, 3.0]) == (2.0, 3.0, 1.0)
+
+    def test_aggregate_empty(self):
+        with pytest.raises(ReproError):
+            aggregate([])
+
+    def test_count_slowdowns(self):
+        """The paper's < 0.98 criterion for 'non-negligible slowdown'."""
+        assert count_slowdowns([1.1, 0.979, 0.98, 0.5]) == 2

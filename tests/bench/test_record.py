@@ -1,0 +1,89 @@
+"""Tests for structured experiment recording."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import ablation_du_vi, fig8, table2, table4
+from repro.bench.harness import ExperimentConfig
+from repro.bench.record import load_run, record_run, result_to_dict
+
+SCALE = 1 / 64
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale=SCALE)
+
+
+class TestResultToDict:
+    def test_table2(self, config):
+        d = result_to_dict(table2(config, limit=2))
+        assert "serial_mflops" in d
+        assert "MS" in d["serial_mflops"]
+        json.dumps(d)  # round-trippable
+
+    def test_speedup_table(self, config):
+        d = result_to_dict(table4(config, limit=2))
+        assert d["format_name"] == "csr-vi"
+        json.dumps(d)
+
+    def test_fig(self, config):
+        d = result_to_dict(fig8(config, limit=2))
+        assert len(d["series"]) == 2
+        json.dumps(d)
+
+    def test_ablation_rows(self, config):
+        d = result_to_dict(ablation_du_vi(config, ids=(47,)))
+        assert len(d["rows"]) == 4
+        json.dumps(d)
+
+    def test_tuple_keys_flattened(self, config):
+        d = result_to_dict(table2(config, limit=2))
+        assert "2|close" in d["speedups"]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            result_to_dict(object())
+
+
+class TestRecordRun:
+    def test_round_trip(self, config, tmp_path):
+        path = tmp_path / "run.json"
+        record_run({"table2": table2(config, limit=2)}, config, path)
+        loaded = load_run(path)
+        assert loaded["scale"] == SCALE
+        assert "cost_model" in loaded
+        assert "per_element" in loaded["cost_model"]
+        assert loaded["machine_spec"]["l2_bytes"] > 0
+        assert "table2" in loaded["experiments"]
+
+    def test_comparable_across_runs(self, config, tmp_path):
+        """Two identical runs must serialize identically (determinism)."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        record_run({"t": table2(config, limit=2)}, config, a)
+        record_run({"t": table2(config, limit=2)}, config, b)
+        assert a.read_text() == b.read_text()
+
+
+class TestCLIJson:
+    def test_json_flag(self, tmp_path, capsys):
+        from repro.bench.cli import main
+
+        path = tmp_path / "cli.json"
+        assert (
+            main(
+                [
+                    "table3",
+                    "--scale",
+                    "0.015625",
+                    "--limit",
+                    "2",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        loaded = load_run(path)
+        assert "table3" in loaded["experiments"]

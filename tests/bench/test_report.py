@@ -1,0 +1,73 @@
+"""Tests for the ASCII report formatters."""
+
+import pytest
+
+from repro.bench.experiments import fig8, table2, table3, table4
+from repro.bench.harness import ExperimentConfig
+from repro.bench.report import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    format_fig_series,
+    format_speedup_table,
+    format_table2,
+)
+
+SCALE = 1 / 64
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale=SCALE)
+
+
+class TestPaperConstants:
+    """The embedded paper values are the cross-check baseline -- pin a
+    few cells straight from the PDF tables."""
+
+    def test_table2_cells(self):
+        assert PAPER_TABLE2["serial"]["MS"] == (619.4, 886.6, 465.2)
+        assert PAPER_TABLE2[(8, "close")]["ML"] == (2.12, 6.30, 1.58)
+
+    def test_table3_cells(self):
+        assert PAPER_TABLE3[8]["ML"] == (1.20, 1.82, 0.99, 0)
+        assert PAPER_TABLE3[1]["MS"] == (1.02, 1.12, 0.80, 5)
+
+    def test_table4_cells(self):
+        assert PAPER_TABLE4[8]["ML_vi"] == (1.59, 2.50, 0.99, 0)
+        assert PAPER_TABLE4[2]["M0_vi"] == (1.35,)
+
+
+class TestFormatting:
+    def test_table2_output(self, config):
+        text = format_table2(table2(config, limit=2))
+        assert "Table II" in text
+        assert "MFLOPS" in text
+        assert "2 (1xL2)" in text and "2 (2xL2)" in text
+        assert "paper" in text
+
+    def test_table2_without_paper(self, config):
+        text = format_table2(table2(config, limit=2), with_paper=False)
+        assert "paper" not in text
+
+    def test_table3_output(self, config):
+        text = format_speedup_table(table3(config, limit=2))
+        assert "Table III" in text
+        assert "<0.98" in text
+
+    def test_table4_output(self, config):
+        text = format_speedup_table(table4(config, limit=2))
+        assert "Table IV" in text
+        assert "MS_vi" in text
+
+    def test_fig_output(self, config):
+        res = fig8(config, limit=2)
+        text = format_fig_series(res)
+        assert "Figure 8" in text
+        for s in res.series:
+            assert s.name in text
+
+    def test_fig_max_rows(self, config):
+        res = fig8(config, limit=3)
+        text = format_fig_series(res, max_rows=1)
+        assert sum(1 for line in text.splitlines() if line.startswith("syn")) == 1

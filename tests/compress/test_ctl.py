@@ -1,0 +1,175 @@
+"""Tests for the ctl byte-stream serializer/deserializer."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compress.ctl import (
+    FLAG_NR,
+    FLAG_RJMP,
+    CtlReader,
+    CtlWriter,
+    decode_units,
+)
+from repro.compress.delta import Unit, unitize
+from repro.errors import EncodingError
+
+
+def make_unit(row=0, new_row=True, row_jump=1, ujmp=0, deltas=(), cls=None):
+    deltas = np.asarray(deltas, dtype=np.int64)
+    if cls is None:
+        cls = 0
+        if deltas.size and int(deltas.max()) > 255:
+            cls = 1
+    return Unit(
+        row=row, new_row=new_row, row_jump=row_jump, ujmp=ujmp, deltas=deltas, cls=cls
+    )
+
+
+def write_units(units):
+    w = CtlWriter()
+    for u in units:
+        w.append(u)
+    return w.getvalue()
+
+
+class TestRoundTrip:
+    def test_single_unit(self):
+        ctl = write_units([make_unit(ujmp=5, deltas=[1, 2, 3])])
+        units = list(CtlReader(ctl))
+        assert len(units) == 1
+        u = units[0]
+        assert (u.row, u.ujmp, u.deltas.tolist()) == (0, 5, [1, 2, 3])
+
+    def test_multi_row(self):
+        src = [
+            make_unit(row=0, ujmp=0, deltas=[1]),
+            make_unit(row=1, ujmp=2, deltas=[300, 400], cls=1),
+            make_unit(row=1, new_row=False, ujmp=7, deltas=[]),
+        ]
+        out = list(CtlReader(write_units(src)))
+        assert [u.row for u in out] == [0, 1, 1]
+        assert [u.cls for u in out] == [0, 1, 0]
+        assert out[1].deltas.tolist() == [300, 400]
+
+    def test_row_jump(self):
+        src = [
+            make_unit(row=0, ujmp=1),
+            make_unit(row=5, row_jump=5, ujmp=3),
+        ]
+        out = list(CtlReader(write_units(src)))
+        assert out[1].row == 5
+        assert out[1].row_jump == 5
+
+    def test_wide_classes(self):
+        src = [make_unit(ujmp=0, deltas=[1 << 40], cls=3)]
+        out = list(CtlReader(write_units(src)))
+        assert out[0].deltas.tolist() == [1 << 40]
+
+    def test_large_ujmp_varint(self):
+        src = [make_unit(ujmp=(1 << 30) + 7)]
+        out = list(CtlReader(write_units(src)))
+        assert out[0].ujmp == (1 << 30) + 7
+
+
+class TestWriterValidation:
+    def test_rejects_oversized_unit(self):
+        with pytest.raises(EncodingError):
+            write_units([make_unit(deltas=[1] * 300)])
+
+    def test_rejects_rowjump_without_newrow(self):
+        with pytest.raises(EncodingError):
+            write_units([make_unit(new_row=False, row_jump=2)])
+
+
+class TestReaderValidation:
+    def test_truncated_header(self):
+        with pytest.raises(EncodingError):
+            list(CtlReader(bytes([FLAG_NR])))
+
+    def test_zero_usize(self):
+        with pytest.raises(EncodingError):
+            list(CtlReader(bytes([FLAG_NR, 0, 0])))
+
+    def test_unknown_flags(self):
+        with pytest.raises(EncodingError, match="unknown flag"):
+            list(CtlReader(bytes([0x80 | FLAG_NR, 1, 0])))
+
+    def test_rjmp_without_nr(self):
+        with pytest.raises(EncodingError, match="RJMP"):
+            list(CtlReader(bytes([FLAG_RJMP, 1, 1, 0])))
+
+    def test_stream_must_open_with_new_row(self):
+        with pytest.raises(EncodingError, match="new-row"):
+            list(CtlReader(bytes([0, 1, 0])))
+
+    def test_truncated_deltas(self):
+        good = write_units([make_unit(ujmp=0, deltas=[1, 2, 3])])
+        with pytest.raises(EncodingError):
+            list(CtlReader(good[:-1]))
+
+
+class TestDecodeUnits:
+    def test_structure_and_offsets(self):
+        ctl = write_units(
+            [
+                make_unit(row=0, ujmp=2, deltas=[3, 4]),
+                make_unit(row=2, row_jump=2, ujmp=1),
+            ]
+        )
+        du = decode_units(ctl, 4)
+        assert du.nunits == 2
+        assert du.rows.tolist() == [0, 2]
+        assert du.sizes.tolist() == [3, 1]
+        assert du.offsets.tolist() == [0, 3, 4]
+        assert du.columns.tolist() == [2, 5, 9, 1]
+        assert du.new_row.tolist() == [True, True]
+        assert du.ctl_offsets[0] == 0
+        assert int(du.ctl_offsets[-1]) == len(ctl)
+
+    def test_ctl_offsets_slice_reparses(self):
+        """Any unit-aligned suffix of the stream is itself parseable."""
+        ctl = write_units(
+            [
+                make_unit(row=0, ujmp=0, deltas=[1, 2]),
+                make_unit(row=1, ujmp=5, deltas=[700], cls=1),
+                make_unit(row=1, new_row=False, ujmp=9),
+            ]
+        )
+        du = decode_units(ctl, 6)
+        # Suffix starting at unit 1 begins with a new-row unit.
+        off = int(du.ctl_offsets[1])
+        tail_units = list(CtlReader(ctl[off:]))
+        assert len(tail_units) == 2
+
+    def test_nnz_mismatch(self):
+        ctl = write_units([make_unit(ujmp=0, deltas=[1])])
+        with pytest.raises(EncodingError, match="expected"):
+            decode_units(ctl, 5)
+
+    def test_empty_stream(self):
+        du = decode_units(b"", 0)
+        assert du.nunits == 0
+        assert du.columns.size == 0
+
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=4000), min_size=1, max_size=20
+            ).map(lambda xs: sorted(set(xs))),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_unitize_write_decode_round_trip(self, rows):
+        """unitize -> CtlWriter -> decode_units reproduces the columns."""
+        lens = [len(r) for r in rows]
+        row_ptr = np.concatenate(([0], np.cumsum(lens)))
+        col_ind = np.concatenate([np.asarray(r) for r in rows])
+        ctl = write_units(unitize(row_ptr, col_ind))
+        du = decode_units(ctl, int(row_ptr[-1]))
+        assert du.columns.tolist() == col_ind.tolist()
+        rows_expanded = np.repeat(du.rows, du.sizes)
+        expected_rows = np.repeat(np.arange(len(rows)), lens)
+        assert rows_expanded.tolist() == expected_rows.tolist()

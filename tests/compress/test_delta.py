@@ -1,0 +1,209 @@
+"""Tests for delta analysis and unit splitting (CSR-DU encoder core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compress.delta import (
+    MAX_UNIT_SIZE,
+    column_deltas,
+    split_row_units,
+    unitize,
+)
+from repro.errors import EncodingError, FormatError
+
+
+def row_columns(max_cols: int = 5000, max_len: int = 60):
+    """Strictly increasing column index lists."""
+    return st.lists(
+        st.integers(min_value=0, max_value=max_cols), min_size=1, max_size=max_len
+    ).map(lambda xs: np.asarray(sorted(set(xs)), dtype=np.int64))
+
+
+def reconstruct(units, row: int) -> np.ndarray:
+    """Columns encoded by a row's unit list."""
+    cols = []
+    col = 0
+    for u in units:
+        assert u.row == row
+        ucols = u.columns(col)
+        col = int(ucols[-1])
+        cols.extend(ucols.tolist())
+    return np.asarray(cols)
+
+
+class TestColumnDeltas:
+    def test_basic(self):
+        assert column_deltas(np.array([3, 5, 10])).tolist() == [3, 2, 5]
+
+    def test_empty(self):
+        assert column_deltas(np.array([], dtype=np.int64)).size == 0
+
+    def test_rejects_nonincreasing(self):
+        with pytest.raises(EncodingError):
+            column_deltas(np.array([3, 3]))
+        with pytest.raises(EncodingError):
+            column_deltas(np.array([5, 2]))
+
+    def test_rejects_negative_first(self):
+        with pytest.raises(EncodingError):
+            column_deltas(np.array([-1, 2]))
+
+
+class TestSplitRowUnits:
+    def test_paper_table1_rows(self):
+        """Each row of the paper's Fig. 1 matrix produces Table I's unit."""
+        expectations = [
+            (np.array([0, 1]), 2, 0, [1]),
+            (np.array([1, 3, 5]), 3, 1, [2, 2]),
+            (np.array([2]), 1, 2, []),
+            (np.array([2, 4, 5]), 3, 2, [2, 1]),
+            (np.array([0, 3, 4]), 3, 0, [3, 1]),
+            (np.array([0, 2, 3, 5]), 4, 0, [2, 1, 2]),
+        ]
+        for row, (cols, usize, ujmp, ucis) in enumerate(expectations):
+            units = split_row_units(cols, row)
+            assert len(units) == 1
+            u = units[0]
+            assert (u.usize, u.ujmp, u.deltas.tolist()) == (usize, ujmp, ucis)
+            assert u.cls == 0
+            assert u.new_row
+
+    def test_class_change_splits(self):
+        # deltas: 1000 (u16), then 2,2 (u8): greedy steals 1000 as ujmp.
+        cols = np.array([1000, 1002, 1004])
+        units = split_row_units(cols, 0)
+        assert len(units) == 1
+        assert units[0].ujmp == 1000
+        assert units[0].cls == 0
+
+    def test_two_runs_two_units(self):
+        # u8 run then u16 run: two units.
+        cols = np.array([0, 1, 2, 1000, 2000])
+        units = split_row_units(cols, 0)
+        assert len(units) == 2
+        assert units[0].cls == 0 and units[0].usize == 3
+        assert units[1].cls == 1 and units[1].usize == 2
+        assert not units[1].new_row
+
+    def test_max_unit_split(self):
+        cols = np.arange(0, 600)
+        units = split_row_units(cols, 0)
+        assert all(u.usize <= MAX_UNIT_SIZE for u in units)
+        assert sum(u.usize for u in units) == 600
+        assert reconstruct(units, 0).tolist() == cols.tolist()
+
+    def test_custom_max_unit(self):
+        cols = np.arange(0, 20)
+        units = split_row_units(cols, 0, max_unit=5)
+        assert all(u.usize <= 5 for u in units)
+        assert reconstruct(units, 0).tolist() == cols.tolist()
+
+    def test_aligned_policy_fragments(self):
+        """aligned never lets an out-of-class delta open a unit."""
+        cols = np.array([1000, 1002, 1004])
+        units = split_row_units(cols, 0, policy="aligned")
+        assert len(units) == 2  # [1000] alone, then the u8 pair
+        assert units[0].usize == 1
+
+    def test_bad_policy(self):
+        with pytest.raises(FormatError):
+            split_row_units(np.array([1]), 0, policy="magic")
+
+    def test_bad_max_unit(self):
+        with pytest.raises(FormatError):
+            split_row_units(np.array([1]), 0, max_unit=1)
+        with pytest.raises(FormatError):
+            split_row_units(np.array([1]), 0, max_unit=500)
+
+    def test_row_jump_recorded(self):
+        units = split_row_units(np.array([5]), 7, row_jump=3)
+        assert units[0].row_jump == 3
+
+    @given(row_columns(), st.sampled_from(["greedy", "aligned"]))
+    def test_round_trip_property(self, cols, policy):
+        units = split_row_units(cols, 0, policy=policy)
+        assert reconstruct(units, 0).tolist() == cols.tolist()
+        # Each unit's stored deltas must fit its declared class.
+        for u in units:
+            if u.deltas.size:
+                assert int(u.deltas.max()) < (1 << (8 * (1 << u.cls)))
+            assert 1 <= u.usize <= MAX_UNIT_SIZE
+
+    @given(row_columns())
+    def test_greedy_never_worse_units_than_aligned(self, cols):
+        greedy = split_row_units(cols, 0, policy="greedy")
+        aligned = split_row_units(cols, 0, policy="aligned")
+        assert len(greedy) <= len(aligned)
+
+
+class TestUnitize:
+    def test_empty_rows_skipped_with_jump(self):
+        row_ptr = np.array([0, 1, 1, 1, 2])
+        col_ind = np.array([3, 4])
+        units = unitize(row_ptr, col_ind)
+        assert [u.row for u in units] == [0, 3]
+        assert units[1].row_jump == 3
+
+    def test_leading_empty_rows(self):
+        row_ptr = np.array([0, 0, 0, 2])
+        col_ind = np.array([1, 2])
+        units = unitize(row_ptr, col_ind)
+        assert units[0].row == 2
+        assert units[0].row_jump == 3
+
+    def test_empty_matrix(self):
+        assert unitize(np.array([0, 0]), np.array([], dtype=np.int64)) == []
+
+    def test_covers_all_nnz(self):
+        rng = np.random.default_rng(3)
+        lens = rng.integers(0, 9, size=40)
+        row_ptr = np.concatenate(([0], np.cumsum(lens)))
+        col_ind = np.concatenate(
+            [np.sort(rng.choice(500, size=k, replace=False)) for k in lens]
+        )
+        units = unitize(row_ptr, col_ind)
+        assert sum(u.usize for u in units) == int(row_ptr[-1])
+
+
+class TestBulkEquivalence:
+    """unitize's vectorized whole-matrix pass must produce exactly what
+    per-row split_row_units produces (it is the same algorithm with the
+    delta/class computation hoisted)."""
+
+    @pytest.mark.parametrize("policy", ["greedy", "aligned", "seq"])
+    def test_matches_per_row(self, policy):
+        rng = np.random.default_rng(77)
+        lens = rng.integers(0, 40, size=60)
+        row_ptr = np.concatenate(([0], np.cumsum(lens)))
+        col_ind = np.concatenate(
+            [
+                np.sort(rng.choice(100_000, size=k, replace=False))
+                for k in lens
+            ]
+        )
+        bulk = unitize(row_ptr, col_ind, policy=policy)
+        per_row = []
+        jump = 1
+        for row, k in enumerate(lens):
+            lo, hi = int(row_ptr[row]), int(row_ptr[row + 1])
+            if lo == hi:
+                jump += 1
+                continue
+            per_row.extend(
+                split_row_units(col_ind[lo:hi], row, jump, policy=policy)
+            )
+            jump = 1
+        assert len(bulk) == len(per_row)
+        for a, b in zip(bulk, per_row):
+            assert (a.row, a.new_row, a.row_jump, a.ujmp, a.cls, a.seq) == (
+                b.row, b.new_row, b.row_jump, b.ujmp, b.cls, b.seq,
+            )
+            assert a.deltas.tolist() == b.deltas.tolist()
+
+    def test_validation_still_enforced(self):
+        with pytest.raises(EncodingError):
+            unitize(np.array([0, 2]), np.array([5, 5]))
+        with pytest.raises(EncodingError):
+            unitize(np.array([0, 1]), np.array([-1]))

@@ -1,0 +1,113 @@
+"""Tests for unique-value indexing (CSR-VI compression core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compress.unique import (
+    TTU_THRESHOLD,
+    index_dtype_for,
+    total_to_unique_ratio,
+    unique_index_values,
+)
+from repro.errors import FormatError
+
+
+class TestIndexDtype:
+    @pytest.mark.parametrize(
+        "count,dtype",
+        [
+            (0, np.uint8),
+            (1, np.uint8),
+            (256, np.uint8),
+            (257, np.uint16),
+            (1 << 16, np.uint16),
+            ((1 << 16) + 1, np.uint32),
+            (1 << 32, np.uint32),
+            ((1 << 32) + 1, np.uint64),
+        ],
+    )
+    def test_boundaries(self, count, dtype):
+        """The paper's rule: 2^8 < uv <= 2^16 -> 2-byte indices, etc."""
+        assert index_dtype_for(count) == np.dtype(dtype)
+
+    def test_negative_rejected(self):
+        with pytest.raises(FormatError):
+            index_dtype_for(-1)
+
+
+class TestTTU:
+    def test_basic(self):
+        assert total_to_unique_ratio(np.array([1.0, 1.0, 2.0, 2.0])) == 2.0
+
+    def test_all_same(self):
+        assert total_to_unique_ratio(np.full(10, 3.3)) == 10.0
+
+    def test_all_unique(self):
+        assert total_to_unique_ratio(np.arange(5.0)) == 1.0
+
+    def test_empty(self):
+        assert total_to_unique_ratio(np.array([])) == 0.0
+
+    def test_threshold_constant(self):
+        assert TTU_THRESHOLD == 5.0
+
+
+class TestUniqueIndexValues:
+    def test_paper_fig4_example(self):
+        """Fig. 4: the Fig. 1 values map onto 10 unique values."""
+        values = np.array(
+            [5.4, 1.1, 6.3, 7.7, 8.8, 1.1, 2.9, 3.7, 2.9, 9.0, 1.1, 4.5, 1.1, 2.9, 3.7, 1.1]
+        )
+        uv = unique_index_values(values)
+        assert uv.vals_unique.tolist() == sorted(
+            [1.1, 2.9, 3.7, 4.5, 5.4, 6.3, 7.7, 8.8, 9.0]
+        )
+        assert uv.vals_unique.size == 9
+        assert uv.val_ind.dtype == np.uint8
+        assert np.array_equal(uv.reconstruct(), values)
+        assert uv.ttu == pytest.approx(16 / 9)
+
+    def test_round_trip_exact_bits(self):
+        rng = np.random.default_rng(0)
+        values = rng.choice(rng.random(7), size=500)
+        uv = unique_index_values(values)
+        assert np.array_equal(uv.reconstruct(), values)
+        assert uv.vals_unique.size == 7
+
+    def test_nbytes_accounting(self):
+        values = np.repeat(np.arange(4.0), 100)
+        uv = unique_index_values(values)
+        assert uv.nbytes == 4 * 8 + 400 * 1
+
+    def test_wider_index_when_needed(self):
+        values = np.arange(300.0)
+        uv = unique_index_values(values)
+        assert uv.val_ind.dtype == np.uint16
+
+    def test_empty(self):
+        uv = unique_index_values(np.array([]))
+        assert uv.ttu == 0.0
+        assert uv.val_ind.size == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(FormatError, match="NaN"):
+            unique_index_values(np.array([1.0, np.nan]))
+
+    def test_negative_zero_and_zero_collapse(self):
+        # np.unique treats -0.0 == 0.0; the reconstruction is still
+        # numerically equal, which is what SpMV needs.
+        uv = unique_index_values(np.array([-0.0, 0.0, 1.0]))
+        assert np.array_equal(uv.reconstruct(), np.array([0.0, 0.0, 1.0]))
+
+    @given(
+        st.lists(
+            st.sampled_from([0.5, 1.25, 2.0, 3.75, 9.5]), min_size=1, max_size=200
+        )
+    )
+    def test_round_trip_property(self, values):
+        arr = np.asarray(values)
+        uv = unique_index_values(arr)
+        assert np.array_equal(uv.reconstruct(), arr)
+        assert uv.ttu == pytest.approx(arr.size / np.unique(arr).size)

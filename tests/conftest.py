@@ -1,0 +1,61 @@
+"""Shared fixtures: the paper's example matrix and random-matrix factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+
+#: The 6x6 example matrix of the paper's Fig. 1 (also Table I, Figs 4/5).
+PAPER_DENSE = np.array(
+    [
+        [5.4, 1.1, 0.0, 0.0, 0.0, 0.0],
+        [0.0, 6.3, 0.0, 7.7, 0.0, 8.8],
+        [0.0, 0.0, 1.1, 0.0, 0.0, 0.0],
+        [0.0, 0.0, 2.9, 0.0, 3.7, 2.9],
+        [9.0, 0.0, 0.0, 1.1, 4.5, 0.0],
+        [1.1, 0.0, 2.9, 3.7, 0.0, 1.1],
+    ]
+)
+
+
+@pytest.fixture
+def paper_matrix() -> CSRMatrix:
+    """The Fig. 1 matrix as CSR."""
+    return CSRMatrix.from_dense(PAPER_DENSE)
+
+
+@pytest.fixture
+def paper_dense() -> np.ndarray:
+    return PAPER_DENSE.copy()
+
+
+def random_sparse_dense(
+    nrows: int,
+    ncols: int,
+    density: float = 0.15,
+    seed: int = 0,
+    *,
+    quantize: int | None = None,
+    empty_rows: bool = False,
+) -> np.ndarray:
+    """A random dense array with sparse structure, for format tests.
+
+    ``quantize`` limits distinct values (CSR-VI scenarios);
+    ``empty_rows`` zeroes out a band of rows entirely.
+    """
+    rng = np.random.default_rng(seed)
+    mask = rng.random((nrows, ncols)) < density
+    vals = rng.random((nrows, ncols)) + 0.5
+    if quantize:
+        vals = np.round(vals * quantize) / quantize
+    dense = np.where(mask, vals, 0.0)
+    if empty_rows and nrows >= 4:
+        dense[nrows // 4 : nrows // 2] = 0.0
+    return dense
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

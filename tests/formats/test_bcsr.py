@@ -1,0 +1,86 @@
+"""Tests for BCSR (register blocking with fill)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import BCSRMatrix, CSRMatrix
+
+from tests.conftest import random_sparse_dense
+
+
+class TestFromCSR:
+    def test_round_trip(self):
+        dense = random_sparse_dense(12, 14, seed=20)
+        csr = CSRMatrix.from_dense(dense)
+        for r, c in [(1, 1), (2, 2), (3, 2), (4, 4)]:
+            bcsr = BCSRMatrix.from_csr(csr, r=r, c=c)
+            assert np.allclose(bcsr.to_csr().to_dense(), dense), (r, c)
+
+    def test_ragged_edges(self):
+        """Matrix dims not divisible by the block size."""
+        dense = random_sparse_dense(7, 9, seed=21)
+        bcsr = BCSRMatrix.from_csr(CSRMatrix.from_dense(dense), r=3, c=4)
+        assert np.allclose(bcsr.to_csr().to_dense(), dense)
+
+    def test_1x1_blocks_equal_csr(self):
+        dense = random_sparse_dense(10, 10, seed=22)
+        csr = CSRMatrix.from_dense(dense)
+        bcsr = BCSRMatrix.from_csr(csr, r=1, c=1)
+        assert bcsr.true_nnz == csr.nnz
+        assert bcsr.fill_ratio == 1.0
+
+    def test_fill_ratio_dense_blocks(self):
+        """A perfectly block-dense matrix has fill ratio 1."""
+        dense = np.zeros((4, 4))
+        dense[0:2, 2:4] = 1.0
+        dense[2:4, 0:2] = 2.0
+        bcsr = BCSRMatrix.from_csr(CSRMatrix.from_dense(dense), r=2, c=2)
+        assert bcsr.fill_ratio == 1.0
+        assert bcsr.block_values.shape[0] == 2
+
+    def test_fill_ratio_scattered(self):
+        """One nonzero per block: fill ratio r*c."""
+        dense = np.zeros((4, 4))
+        dense[0, 0] = dense[2, 2] = 1.0
+        bcsr = BCSRMatrix.from_csr(CSRMatrix.from_dense(dense), r=2, c=2)
+        assert bcsr.fill_ratio == 4.0
+
+    def test_bad_block_shape(self):
+        csr = CSRMatrix.from_dense(np.eye(4))
+        with pytest.raises(FormatError):
+            BCSRMatrix.from_csr(csr, r=0, c=2)
+
+
+class TestOperations:
+    def test_spmv(self, paper_matrix, paper_dense):
+        for r, c in [(2, 2), (2, 3), (3, 3)]:
+            bcsr = BCSRMatrix.from_csr(paper_matrix, r=r, c=c)
+            x = np.arange(6.0) + 0.5
+            assert np.allclose(bcsr.spmv(x), paper_dense @ x), (r, c)
+
+    def test_spmv_nonsquare_ragged(self):
+        dense = random_sparse_dense(11, 7, seed=23)
+        bcsr = BCSRMatrix.from_csr(CSRMatrix.from_dense(dense), r=4, c=3)
+        x = np.random.default_rng(5).random(7)
+        assert np.allclose(bcsr.spmv(x), dense @ x)
+
+    def test_storage_tradeoff(self):
+        """Blocking shrinks index bytes but can inflate value bytes."""
+        dense = random_sparse_dense(20, 20, seed=24, density=0.3)
+        csr = CSRMatrix.from_dense(dense)
+        bcsr = BCSRMatrix.from_csr(csr, r=2, c=2)
+        assert bcsr.storage().index_bytes < csr.storage().index_bytes
+        assert bcsr.storage().value_bytes >= csr.storage().value_bytes
+
+    def test_iter_entries_skips_fill(self):
+        dense = np.zeros((4, 4))
+        dense[0, 0] = 5.0
+        bcsr = BCSRMatrix.from_csr(CSRMatrix.from_dense(dense), r=2, c=2)
+        assert list(bcsr.iter_entries()) == [(0, 0, 5.0)]
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix(4, 4, np.array([0, 0, 0, 0, 0]), np.array([], dtype=np.int32), [])
+        bcsr = BCSRMatrix.from_csr(csr, r=2, c=2)
+        assert bcsr.nnz == 0
+        assert bcsr.spmv(np.ones(4)).tolist() == [0.0] * 4

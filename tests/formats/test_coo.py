@@ -1,0 +1,110 @@
+"""Tests for the COO interchange format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix
+
+from tests.conftest import random_sparse_dense
+
+
+class TestConstruction:
+    def test_canonical_order(self):
+        coo = COOMatrix(
+            3,
+            3,
+            np.array([2, 0, 1], dtype=np.int32),
+            np.array([1, 2, 0], dtype=np.int32),
+            np.array([3.0, 1.0, 2.0]),
+        )
+        assert coo.rows.tolist() == [0, 1, 2]
+        assert coo.cols.tolist() == [2, 0, 1]
+        assert coo.values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_duplicates_summed(self):
+        coo = COOMatrix(
+            2,
+            2,
+            np.array([0, 0, 1], dtype=np.int32),
+            np.array([1, 1, 0], dtype=np.int32),
+            np.array([1.0, 2.5, 4.0]),
+        )
+        assert coo.nnz == 2
+        assert coo.to_dense()[0, 1] == pytest.approx(3.5)
+
+    def test_duplicates_rejected_when_asked(self):
+        with pytest.raises(FormatError, match="duplicate"):
+            COOMatrix(
+                2,
+                2,
+                np.array([0, 0], dtype=np.int32),
+                np.array([1, 1], dtype=np.int32),
+                np.array([1.0, 2.0]),
+                sum_duplicates=False,
+            )
+
+    def test_length_mismatch(self):
+        with pytest.raises(FormatError, match="length mismatch"):
+            COOMatrix(
+                2, 2, np.array([0], dtype=np.int32), np.array([0, 1], dtype=np.int32),
+                np.array([1.0]),
+            )
+
+    def test_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix(
+                2, 2, np.array([2], dtype=np.int32), np.array([0], dtype=np.int32),
+                np.array([1.0]),
+            )
+
+    def test_empty(self):
+        coo = COOMatrix(
+            3, 4, np.array([], dtype=np.int32), np.array([], dtype=np.int32),
+            np.array([]),
+        )
+        assert coo.nnz == 0
+        assert coo.to_dense().shape == (3, 4)
+
+
+class TestOperations:
+    def test_spmv_matches_dense(self):
+        dense = random_sparse_dense(20, 17, seed=4)
+        coo = COOMatrix.from_dense(dense)
+        x = np.random.default_rng(1).random(17)
+        assert np.allclose(coo.spmv(x), dense @ x)
+
+    def test_spmv_out_parameter(self):
+        dense = random_sparse_dense(10, 10, seed=5)
+        coo = COOMatrix.from_dense(dense)
+        x = np.ones(10)
+        out = np.full(10, 99.0)
+        result = coo.spmv(x, out=out)
+        assert result is out
+        assert np.allclose(out, dense @ x)
+
+    def test_spmv_shape_check(self):
+        coo = COOMatrix.from_dense(np.eye(3))
+        with pytest.raises(FormatError):
+            coo.spmv(np.ones(4))
+
+    def test_storage(self):
+        coo = COOMatrix.from_dense(np.eye(5))
+        st = coo.storage()
+        assert st.index_bytes == 5 * 4 * 2
+        assert st.value_bytes == 5 * 8
+
+    def test_iter_entries_row_major(self):
+        dense = random_sparse_dense(8, 8, seed=6)
+        coo = COOMatrix.from_dense(dense)
+        entries = list(coo.iter_entries())
+        assert entries == sorted(entries)
+
+    def test_row_ptr(self):
+        dense = np.array([[1.0, 0.0], [0.0, 0.0], [2.0, 3.0]])
+        coo = COOMatrix.from_dense(dense)
+        assert coo.row_ptr().tolist() == [0, 1, 1, 3]
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(FormatError):
+            COOMatrix.from_dense(np.ones(4))

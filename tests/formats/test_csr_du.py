@@ -1,0 +1,144 @@
+"""Tests for CSR-DU -- including the paper's Table I, exactly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CSRDUMatrix, CSRMatrix
+from repro.compress.ctl import CtlReader
+
+from tests.conftest import random_sparse_dense
+
+
+class TestPaperExample:
+    """Table I: the Fig. 1 matrix encodes into exactly six u8/NR units."""
+
+    def test_unit_table(self, paper_matrix):
+        du = CSRDUMatrix.from_csr(paper_matrix)
+        units = list(CtlReader(du.ctl))
+        expected = [  # (usize, ujmp, ucis)
+            (2, 0, [1]),
+            (3, 1, [2, 2]),
+            (1, 2, []),
+            (3, 2, [2, 1]),
+            (3, 0, [3, 1]),
+            (4, 0, [2, 1, 2]),
+        ]
+        assert len(units) == 6
+        for u, (usize, ujmp, ucis) in zip(units, expected):
+            assert u.usize == usize
+            assert u.ujmp == ujmp
+            assert u.deltas.tolist() == ucis
+            assert u.cls == 0  # u8
+            assert u.new_row  # NR
+
+    def test_index_compression_vs_csr(self, paper_matrix):
+        du = CSRDUMatrix.from_csr(paper_matrix)
+        assert du.storage().index_bytes < paper_matrix.storage().index_bytes
+        assert du.storage().value_bytes == paper_matrix.storage().value_bytes
+
+    def test_spmv(self, paper_matrix, paper_dense):
+        du = CSRDUMatrix.from_csr(paper_matrix)
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert np.allclose(du.spmv(x), paper_dense @ x)
+
+    def test_unit_histogram(self, paper_matrix):
+        du = CSRDUMatrix.from_csr(paper_matrix)
+        assert du.unit_class_histogram() == {0: 6}
+        assert du.mean_unit_size() == pytest.approx(16 / 6)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("policy", ["greedy", "aligned"])
+    def test_dense_round_trip(self, policy):
+        dense = random_sparse_dense(25, 30, seed=9)
+        csr = CSRMatrix.from_dense(dense)
+        du = CSRDUMatrix.from_csr(csr, policy=policy)
+        back = du.to_csr()
+        assert np.allclose(back.to_dense(), dense)
+        assert back.row_ptr.tolist() == csr.row_ptr.tolist()
+        assert back.col_ind.tolist() == csr.col_ind.tolist()
+
+    def test_empty_rows(self):
+        dense = random_sparse_dense(24, 20, seed=10, empty_rows=True)
+        csr = CSRMatrix.from_dense(dense)
+        du = CSRDUMatrix.from_csr(csr)
+        assert np.allclose(du.to_dense(), dense)
+        x = np.random.default_rng(0).random(20)
+        assert np.allclose(du.spmv(x), dense @ x)
+
+    def test_trailing_empty_rows(self):
+        dense = np.zeros((5, 5))
+        dense[0, 1] = 2.0
+        du = CSRDUMatrix.from_csr(CSRMatrix.from_dense(dense))
+        assert np.allclose(du.to_dense(), dense)
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix(3, 3, np.array([0, 0, 0, 0]), np.array([], dtype=np.int32), [])
+        du = CSRDUMatrix.from_csr(csr)
+        assert du.nnz == 0
+        assert du.ctl == b""
+        assert du.spmv(np.ones(3)).tolist() == [0.0, 0.0, 0.0]
+
+    def test_wide_deltas(self):
+        """A row spanning u8/u16/u32 delta classes survives the trip."""
+        cols = np.array([0, 10, 1000, 200_000, 200_001], dtype=np.int32)
+        csr = CSRMatrix(
+            1, 300_000, np.array([0, 5]), cols, np.ones(5)
+        )
+        du = CSRDUMatrix.from_csr(csr)
+        assert du.to_csr().col_ind.tolist() == cols.tolist()
+        hist = du.unit_class_histogram()
+        assert sum(hist.values()) == du.units.nunits
+
+    def test_long_row_multiple_units(self):
+        n = 700
+        csr = CSRMatrix(
+            1, n, np.array([0, n]), np.arange(n, dtype=np.int32), np.ones(n)
+        )
+        du = CSRDUMatrix.from_csr(csr)
+        assert du.units.nunits >= 3  # 255-element cap
+        assert du.to_csr().col_ind.tolist() == list(range(n))
+
+
+class TestValidation:
+    def test_ctl_type_checked(self):
+        with pytest.raises(FormatError, match="bytes"):
+            CSRDUMatrix(2, 2, [1, 2], np.array([1.0]))
+
+    def test_row_overflow_detected(self, paper_matrix):
+        du = CSRDUMatrix.from_csr(paper_matrix)
+        bad = CSRDUMatrix(3, 6, du.ctl, du.values)  # fewer rows than stream
+        with pytest.raises(FormatError, match="row"):
+            bad.units
+
+    def test_column_overflow_detected(self, paper_matrix):
+        du = CSRDUMatrix.from_csr(paper_matrix)
+        bad = CSRDUMatrix(6, 4, du.ctl, du.values)
+        with pytest.raises(FormatError, match="column"):
+            bad.units
+
+    def test_storage_is_exact_ctl_length(self, paper_matrix):
+        du = CSRDUMatrix.from_csr(paper_matrix)
+        assert du.storage().index_bytes == len(du.ctl)
+
+
+class TestCompressionQuality:
+    def test_sequential_columns_compress_about_4x(self):
+        """Dense-ish rows with tiny deltas: ~1 byte/nnz vs 4 bytes/nnz."""
+        n = 2000
+        csr = CSRMatrix(
+            1, n, np.array([0, n]), np.arange(n, dtype=np.int32), np.ones(n)
+        )
+        du = CSRDUMatrix.from_csr(csr)
+        csr_index = csr.storage().index_bytes
+        assert du.storage().index_bytes < csr_index / 3
+
+    def test_scattered_columns_compress_less(self):
+        rng = np.random.default_rng(11)
+        cols = np.sort(rng.choice(1 << 22, size=300, replace=False)).astype(np.int32)
+        csr = CSRMatrix(1, 1 << 22, np.array([0, 300]), cols, np.ones(300))
+        du = CSRDUMatrix.from_csr(csr)
+        # Deltas ~ 2^22/300 ~ 14000 -> u16: about 2 bytes per element.
+        ratio = du.storage().index_bytes / csr.storage().index_bytes
+        assert 0.3 < ratio < 1.0

@@ -1,0 +1,87 @@
+"""Tests for the ELLPACK format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CSRMatrix
+from repro.formats.ellpack import ELLMatrix
+
+from tests.conftest import random_sparse_dense
+
+
+class TestFromCSR:
+    def test_round_trip(self):
+        dense = random_sparse_dense(18, 22, seed=150, empty_rows=True)
+        csr = CSRMatrix.from_dense(dense)
+        ell = ELLMatrix.from_csr(csr)
+        assert np.allclose(ell.to_csr().to_dense(), dense)
+        assert ell.nnz == csr.nnz
+
+    def test_K_is_max_row_length(self, paper_matrix):
+        ell = ELLMatrix.from_csr(paper_matrix)
+        assert ell.K == 4  # the Fig. 1 matrix's longest row
+
+    def test_padding_ratio(self, paper_matrix):
+        ell = ELLMatrix.from_csr(paper_matrix)
+        assert ell.padding_ratio == pytest.approx(6 * 4 / 16)
+
+    def test_uniform_rows_no_padding(self):
+        dense = np.tril(np.ones((4, 4)))[:, ::-1]  # 4 rows? lengths vary
+        dense = np.ones((4, 3))
+        ell = ELLMatrix.from_csr(CSRMatrix.from_dense(dense))
+        assert ell.padding_ratio == 1.0
+
+    def test_skewed_rows_explode(self):
+        """One long row inflates everything -- ELL's known failure mode."""
+        dense = np.zeros((50, 50))
+        dense[0, :] = 1.0  # one dense row
+        dense[1:, 0] = 1.0
+        ell = ELLMatrix.from_csr(CSRMatrix.from_dense(dense))
+        assert ell.padding_ratio > 10
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix(3, 3, np.array([0, 0, 0, 0]), np.array([], dtype=np.int32), [])
+        ell = ELLMatrix.from_csr(csr)
+        assert ell.nnz == 0
+        assert ell.spmv(np.ones(3)).tolist() == [0.0] * 3
+
+
+class TestOperations:
+    def test_spmv(self, paper_matrix, paper_dense):
+        ell = ELLMatrix.from_csr(paper_matrix)
+        x = np.arange(6.0) + 1
+        assert np.allclose(ell.spmv(x), paper_dense @ x)
+
+    def test_spmv_with_empty_rows(self):
+        dense = random_sparse_dense(16, 11, seed=151, empty_rows=True)
+        ell = ELLMatrix.from_csr(CSRMatrix.from_dense(dense))
+        x = np.random.default_rng(2).random(11)
+        assert np.allclose(ell.spmv(x), dense @ x)
+
+    def test_iter_entries(self, paper_matrix):
+        ell = ELLMatrix.from_csr(paper_matrix)
+        assert list(ell.iter_entries()) == list(paper_matrix.iter_entries())
+
+    def test_storage_counts_padding(self, paper_matrix):
+        ell = ELLMatrix.from_csr(paper_matrix)
+        assert ell.storage().index_bytes == 6 * 4 * 4
+        assert ell.storage().value_bytes == 6 * 4 * 8
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(FormatError, match="differ"):
+            ELLMatrix(2, 2, np.zeros((2, 2), dtype=np.int32), np.zeros((2, 3)))
+
+    def test_wrong_rows(self):
+        with pytest.raises(FormatError):
+            ELLMatrix(3, 2, np.zeros((2, 2), dtype=np.int32), np.zeros((2, 2)))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            ELLMatrix(1, 2, np.array([[5]], dtype=np.int32), np.array([[1.0]]))
+
+    def test_nonzero_padding_rejected(self):
+        with pytest.raises(FormatError, match="padding"):
+            ELLMatrix(1, 2, np.array([[-1]], dtype=np.int32), np.array([[1.0]]))

@@ -1,0 +1,96 @@
+"""Tests for Jagged Diagonal Storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CSRMatrix
+from repro.formats.jagged import JDSMatrix
+
+from tests.conftest import random_sparse_dense
+
+
+class TestFromCSR:
+    def test_round_trip(self):
+        dense = random_sparse_dense(20, 17, seed=160, empty_rows=True)
+        csr = CSRMatrix.from_dense(dense)
+        jds = JDSMatrix.from_csr(csr)
+        assert np.allclose(jds.to_csr().to_dense(), dense)
+        assert jds.nnz == csr.nnz
+
+    def test_no_padding_unlike_ell(self):
+        """JDS stores exactly nnz entries even with one long row."""
+        dense = np.zeros((50, 50))
+        dense[0, :] = 1.0
+        dense[1:, 0] = 1.0
+        jds = JDSMatrix.from_csr(CSRMatrix.from_dense(dense))
+        assert jds.nnz == 99
+        assert jds.values.size == 99
+
+    def test_diagonal_widths_non_increasing(self, paper_matrix):
+        jds = JDSMatrix.from_csr(paper_matrix)
+        widths = np.diff(jds.jd_ptr)
+        assert np.all(np.diff(widths) <= 0)
+        assert jds.ndiagonals == 4  # longest row of Fig. 1 has 4 nonzeros
+
+    def test_perm_sorts_by_length(self, paper_matrix):
+        jds = JDSMatrix.from_csr(paper_matrix)
+        lens = paper_matrix.row_lengths()
+        sorted_lens = lens[jds.perm]
+        assert np.all(np.diff(sorted_lens) <= 0)
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix(3, 3, np.array([0, 0, 0, 0]), np.array([], dtype=np.int32), [])
+        jds = JDSMatrix.from_csr(csr)
+        assert jds.nnz == 0
+        assert jds.spmv(np.ones(3)).tolist() == [0.0] * 3
+
+
+class TestOperations:
+    def test_spmv(self, paper_matrix, paper_dense):
+        jds = JDSMatrix.from_csr(paper_matrix)
+        x = np.arange(6.0) + 1
+        assert np.allclose(jds.spmv(x), paper_dense @ x)
+
+    def test_spmv_permutation_correct(self):
+        """The inverse permutation must land each row's result home."""
+        dense = np.diag([1.0, 2.0, 3.0])
+        dense[2, 0] = 5.0  # row 2 now longest -> sorted first
+        jds = JDSMatrix.from_csr(CSRMatrix.from_dense(dense))
+        y = jds.spmv(np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(y, dense @ np.ones(3))
+
+    def test_iter_entries(self, paper_matrix):
+        jds = JDSMatrix.from_csr(paper_matrix)
+        assert list(jds.iter_entries()) == list(paper_matrix.iter_entries())
+
+    def test_storage(self, paper_matrix):
+        jds = JDSMatrix.from_csr(paper_matrix)
+        st = jds.storage()
+        assert st.value_bytes == 16 * 8
+        assert st.index_bytes == 6 * 4 + 5 * 8 + 16 * 4  # perm + jd_ptr + col_ind
+
+
+class TestValidation:
+    def test_bad_perm(self, paper_matrix):
+        jds = JDSMatrix.from_csr(paper_matrix)
+        bad = jds.perm.copy()
+        bad[0] = bad[1]
+        with pytest.raises(FormatError, match="permutation"):
+            JDSMatrix(6, 6, bad, jds.jd_ptr, jds.col_ind, jds.values)
+
+    def test_increasing_widths_rejected(self):
+        with pytest.raises(FormatError, match="non-increasing"):
+            JDSMatrix(
+                2,
+                2,
+                np.array([0, 1], dtype=np.int32),
+                np.array([0, 1, 3]),  # widths 1 then 2
+                np.array([0, 0, 1], dtype=np.int32),
+                np.array([1.0, 1.0, 1.0]),
+            )
+
+    def test_jd_ptr_range(self, paper_matrix):
+        jds = JDSMatrix.from_csr(paper_matrix)
+        with pytest.raises(FormatError):
+            JDSMatrix(6, 6, jds.perm, jds.jd_ptr[:-1], jds.col_ind, jds.values)

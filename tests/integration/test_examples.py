@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run clean end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs as a subprocess with small arguments.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("cg_poisson.py", ["24"]),
+    ("scaling_study.py", ["0.03125"]),
+    ("graph_ranking.py", ["2000"]),
+    ("format_explorer.py", ["0.02"]),
+    ("model_validation.py", []),
+    ("reordering_pipeline.py", ["24"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # examples must say something
+
+
+def test_quickstart_prints_table1():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    out = result.stdout
+    assert "row_ptr: [0, 2, 5, 6, 9, 12, 16]" in out
+    assert "u8, NR" in out  # Table I rendering
+    assert "vals_unique" in out  # Fig. 4 rendering

@@ -1,0 +1,143 @@
+"""Tests for the trace-driven LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineModelError
+from repro.formats import CSRMatrix
+from repro.machine.cache import LRUCache, simulate_trace, spmv_address_trace
+
+from tests.conftest import random_sparse_dense
+
+
+class TestConstruction:
+    def test_geometry(self):
+        c = LRUCache(8192, assoc=4, line_bytes=64)
+        assert c.nsets == 32
+        assert c.capacity_bytes == 8192
+
+    def test_bad_line_size(self):
+        with pytest.raises(MachineModelError):
+            LRUCache(8192, line_bytes=48)
+
+    def test_bad_assoc(self):
+        with pytest.raises(MachineModelError):
+            LRUCache(8192, assoc=0)
+
+    def test_too_small(self):
+        with pytest.raises(MachineModelError):
+            LRUCache(32, assoc=4, line_bytes=64)
+
+    def test_non_power_of_two_sets(self):
+        with pytest.raises(MachineModelError):
+            LRUCache(3 * 64 * 4, assoc=4, line_bytes=64)
+
+
+class TestLRUBehaviour:
+    def test_hit_after_access(self):
+        c = LRUCache(4096)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)  # same line
+        assert not c.access(64)  # next line
+
+    def test_lru_eviction_order(self):
+        """Direct-mapped-ish: a 2-way set evicts its least recent way."""
+        c = LRUCache(2 * 64, assoc=2, line_bytes=64)  # 1 set, 2 ways
+        c.access(0)
+        c.access(64)
+        c.access(0)  # 0 is now most recent
+        c.access(128)  # evicts 64
+        assert c.contains(0)
+        assert not c.contains(64)
+
+    def test_associativity_conflicts(self):
+        """Addresses mapping to one set thrash regardless of capacity."""
+        c = LRUCache(4 * 64 * 8, assoc=4, line_bytes=64)  # 8 sets
+        stride = c.nsets * 64  # same set every time
+        for i in range(5):
+            c.access(i * stride)
+        assert not c.contains(0)  # evicted by the 5th way demand
+
+    def test_resident_lines(self):
+        c = LRUCache(4096)
+        for i in range(10):
+            c.access(i * 64)
+        assert c.resident_lines() == 10
+
+    def test_flush(self):
+        c = LRUCache(4096)
+        c.access(0)
+        c.flush()
+        assert c.resident_lines() == 0
+        assert c.stats.accesses == 0
+
+    def test_cyclic_thrash_property(self):
+        """Cyclic streaming over ws > capacity yields ~zero hits --
+        the physical behaviour the residency exponent approximates."""
+        c = LRUCache(64 * 16, assoc=16, line_bytes=64)  # 16 lines, 1 set
+        addrs = np.arange(0, 64 * 32, 64)  # 32 lines, cyclic
+        stats = simulate_trace(c, addrs, repeats=3)
+        assert stats.hit_rate == 0.0
+
+    def test_fitting_workload_all_hits_steady_state(self):
+        c = LRUCache(64 * 64, assoc=8, line_bytes=64)
+        addrs = np.arange(0, 64 * 16, 64)
+        stats = simulate_trace(c, addrs, repeats=2)
+        assert stats.hit_rate == 1.0
+
+
+class TestTraceSim:
+    def test_repeats_required(self):
+        with pytest.raises(MachineModelError):
+            simulate_trace(LRUCache(4096), np.array([0]), repeats=0)
+
+    def test_stats_isolated_per_repeat(self):
+        c = LRUCache(64 * 64, assoc=8)
+        stats = simulate_trace(c, np.array([0, 64, 128]), repeats=2)
+        assert stats.accesses == 3
+
+    def test_spmv_trace_shape(self, paper_matrix):
+        trace = spmv_address_trace(paper_matrix.row_ptr, paper_matrix.col_ind)
+        # Per row: 1 row_ptr + 1 y; per nnz: col_ind + values + x.
+        assert trace.size == 6 * 2 + 16 * 3
+
+    def test_spmv_trace_steady_state_hits_when_fitting(self, paper_matrix):
+        """Validation hook for the residency model: a matrix whose whole
+        working set fits gets ~100% hits in the steady state."""
+        trace = spmv_address_trace(paper_matrix.row_ptr, paper_matrix.col_ind)
+        cache = LRUCache(64 * 1024, assoc=16)
+        stats = simulate_trace(cache, trace, repeats=2)
+        assert stats.hit_rate > 0.99
+
+    def test_residency_model_agrees_with_trace_sim(self):
+        """Cross-check: analytic residency vs true LRU on both regimes."""
+        from repro.machine.simulate import simulate_spmv
+        from repro.machine.topology import clovertown_8core
+
+        dense = random_sparse_dense(64, 64, density=0.2, seed=70)
+        csr = CSRMatrix.from_dense(dense)
+        trace = spmv_address_trace(csr.row_ptr, csr.col_ind)
+
+        # Fitting regime: big cache -> trace hits ~1, model resident ~1.
+        big = clovertown_8core().scaled(0.016)  # 64 KB L2
+        res_fit = simulate_spmv(csr, 1, big)
+        cache = LRUCache(64 * 1024, assoc=16)
+        trace_fit = simulate_trace(cache, trace, repeats=2)
+        assert res_fit.resident_fraction > 0.9
+        assert trace_fit.hit_rate > 0.9
+
+        # Thrashing regime: tiny cache.  Note the trace's hit *rate*
+        # stays high from intra-line spatial hits (16 col_ind entries
+        # per 64 B line); the model's quantity is line traffic, so we
+        # check that (a) the model reports low residency and (b) the
+        # true LRU stops short of the fitting regime's steady state.
+        tiny = clovertown_8core().scaled(0.0001)  # ~400 B L2
+        res_thrash = simulate_spmv(csr, 1, tiny)
+        cache2 = LRUCache(1024, assoc=2)
+        trace_thrash = simulate_trace(cache2, trace, repeats=2)
+        assert res_thrash.resident_fraction < 0.3
+        assert trace_thrash.hit_rate < trace_fit.hit_rate - 0.05
+        miss_bytes = trace_thrash.misses * 64
+        streamed = csr.nnz * 12  # col_ind + values per iteration
+        assert miss_bytes > streamed  # genuinely re-streaming each pass

@@ -1,0 +1,151 @@
+"""Tests for the residency + makespan engine, including monotonicity
+properties (more bandwidth never hurts; more traffic never helps)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.costmodel import default_cost_model
+from repro.machine.engine import solve_makespan
+from repro.machine.topology import clovertown_8core, place_threads
+from repro.machine.traffic import ThreadWork
+
+
+def make_work(thread=0, nnz=100_000, rows=1000, stream=1_200_000, x=80_000):
+    return ThreadWork(
+        thread=thread,
+        format_name="csr",
+        nnz=nnz,
+        rows_assigned=rows,
+        rows_nonempty=rows,
+        private_bytes={"col_ind": stream // 3, "values": 2 * stream // 3, "y": rows * 8},
+        shared_bytes={"x": x},
+    )
+
+
+@pytest.fixture
+def machine():
+    return clovertown_8core()
+
+
+@pytest.fixture
+def cost():
+    return default_cost_model()
+
+
+class TestBasics:
+    def test_serial(self, machine, cost):
+        res = solve_makespan([make_work()], (0,), machine, cost)
+        assert res.time_s > 0
+        assert res.mflops > 0
+        assert len(res.compute_s) == 1
+        assert res.bound in ("compute", "core-bw", "die-bw", "l2-bw", "fsb", "mem")
+
+    def test_zero_work(self, machine, cost):
+        w = ThreadWork(
+            thread=0, format_name="csr", nnz=0, rows_assigned=0, rows_nonempty=0
+        )
+        res = solve_makespan([w], (0,), machine, cost)
+        assert res.time_s == 0.0
+
+    def test_resident_when_tiny(self, machine, cost):
+        w = make_work(stream=1000, x=64, rows=10, nnz=100)
+        res = solve_makespan([w], (0,), machine, cost)
+        assert res.resident_fraction == pytest.approx(1.0)
+        assert res.total_traffic == 0.0
+
+    def test_streaming_when_huge(self, machine, cost):
+        w = make_work(stream=400 * 1024 * 1024, nnz=30_000_000)
+        res = solve_makespan([w], (0,), machine, cost)
+        assert res.resident_fraction < 0.05
+        assert res.total_traffic > 0.9 * 400 * 1024 * 1024
+
+
+class TestMonotonicity:
+    def test_more_bandwidth_never_slower(self, machine, cost):
+        works = [make_work(thread=t, stream=40_000_000) for t in range(4)]
+        cores = place_threads(machine, 4)
+        base = solve_makespan(works, cores, machine, cost).time_s
+        faster = dataclasses.replace(
+            machine,
+            core_bw=machine.core_bw * 2,
+            die_bw=machine.die_bw * 2,
+            fsb_bw=machine.fsb_bw * 2,
+            mem_bw=machine.mem_bw * 2,
+            l2_core_bw=machine.l2_core_bw * 2,
+            l2_die_bw=machine.l2_die_bw * 2,
+        )
+        assert solve_makespan(works, cores, faster, cost).time_s <= base
+
+    def test_more_traffic_never_faster(self, machine, cost):
+        small = [make_work(stream=10_000_000)]
+        large = [make_work(stream=20_000_000)]
+        t_small = solve_makespan(small, (0,), machine, cost).time_s
+        t_large = solve_makespan(large, (0,), machine, cost).time_s
+        assert t_large >= t_small
+
+    def test_bigger_cache_never_slower(self, machine, cost):
+        works = [make_work(thread=t, stream=6_000_000) for t in range(2)]
+        cores = place_threads(machine, 2)
+        base = solve_makespan(works, cores, machine, cost).time_s
+        bigger = dataclasses.replace(machine, l2_bytes=machine.l2_bytes * 4)
+        assert solve_makespan(works, cores, bigger, cost).time_s <= base + 1e-12
+
+    def test_splitting_work_never_slower_total(self, machine, cost):
+        """Two threads doing half each finish no later than one doing all
+        (bandwidth domains cap the gain but never invert it)."""
+        whole = [make_work(stream=40_000_000, nnz=3_000_000)]
+        halves = [
+            make_work(thread=t, stream=20_000_000, nnz=1_500_000) for t in range(2)
+        ]
+        t1 = solve_makespan(whole, (0,), machine, cost).time_s
+        t2 = solve_makespan(halves, (0, 1), machine, cost).time_s
+        assert t2 <= t1 + 1e-12
+
+
+class TestDomains:
+    def test_mem_binds_at_8_threads(self, machine, cost):
+        """Eight streaming threads saturate the MCH, not a package FSB."""
+        works = [make_work(thread=t, stream=60_000_000, nnz=4_000_000) for t in range(8)]
+        res = solve_makespan(works, place_threads(machine, 8), machine, cost)
+        assert res.bound == "mem"
+
+    def test_shared_array_counted_once_per_die(self, machine, cost):
+        """Two threads on one die share x; on two dies they each pull it."""
+        works = [
+            dataclasses.replace(
+                make_work(thread=t, stream=30_000_000), shared_bytes={"x": 3_000_000}
+            )
+            for t in range(2)
+        ]
+        shared_cap = {"x": 3_000_000}
+        same_die = solve_makespan(
+            works, (0, 1), machine, cost, total_shared=shared_cap
+        )
+        diff_die = solve_makespan(
+            works, (0, 2), machine, cost, total_shared=shared_cap
+        )
+        # Same die: x union capped at 3 MB; different dies: 3 MB per die.
+        assert sum(same_die.traffic_bytes) <= sum(diff_die.traffic_bytes) + 1e-9
+
+
+class TestValidation:
+    def test_core_count_mismatch(self, machine, cost):
+        with pytest.raises(MachineModelError):
+            solve_makespan([make_work()], (0, 1), machine, cost)
+
+    def test_duplicate_cores(self, machine, cost):
+        with pytest.raises(MachineModelError):
+            solve_makespan(
+                [make_work(0), make_work(1)], (0, 0), machine, cost
+            )
+
+    def test_unknown_core(self, machine, cost):
+        with pytest.raises(MachineModelError):
+            solve_makespan([make_work()], (42,), machine, cost)
+
+    def test_unknown_format(self, machine, cost):
+        w = dataclasses.replace(make_work(), format_name="mystery")
+        with pytest.raises(MachineModelError):
+            solve_makespan([w], (0,), machine, cost)

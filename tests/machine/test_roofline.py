@@ -1,0 +1,74 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.formats import convert
+from repro.machine.roofline import (
+    format_roofline,
+    machine_peak_flops,
+    roofline_point,
+    roofline_table,
+)
+from repro.machine.costmodel import default_cost_model
+from repro.machine.topology import clovertown_8core
+from repro.matrices.collection import realize
+
+SCALE = 1 / 64
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return clovertown_8core().scaled(SCALE)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return realize(69, scale=SCALE)  # ML_vi: memory bound
+
+
+class TestRoofline:
+    def test_peak_scales_with_threads(self, machine):
+        cost = default_cost_model()
+        assert machine_peak_flops(machine, 8, cost) == pytest.approx(
+            8 * machine_peak_flops(machine, 1, cost)
+        )
+
+    def test_spmv_is_memory_bound(self, matrix, machine):
+        """The paper's premise as a roofline statement."""
+        p = roofline_point(convert(matrix, "csr"), 8, machine)
+        assert p.memory_bound
+        assert p.intensity < 1.0  # SpMV: well under 1 flop/byte
+
+    def test_compression_raises_intensity(self, matrix, machine):
+        """Compression moves the kernel rightward on the roofline."""
+        pts = {
+            p.format_name: p
+            for p in roofline_table(matrix, threads=8, machine=machine)
+        }
+        assert pts["csr-du"].intensity > pts["csr"].intensity
+        assert pts["csr-vi"].intensity > pts["csr"].intensity
+        assert pts["csr-du-vi"].intensity > pts["csr-du"].intensity
+
+    def test_attainable_bounds_achieved(self, matrix, machine):
+        """The engine's prediction respects the roofline ceiling within
+        modeling slack (per-row overheads, partial overlap)."""
+        for p in roofline_table(matrix, threads=8, machine=machine):
+            assert p.achieved_mflops <= p.attainable_mflops * 1.05
+
+    def test_attainable_tracks_intensity_when_bound(self, matrix, machine):
+        p = roofline_point(convert(matrix, "csr"), 8, machine)
+        if p.memory_bound:
+            assert p.attainable_mflops < p.peak_mflops
+
+    def test_formatting(self, matrix, machine):
+        text = format_roofline(roofline_table(matrix, threads=8, machine=machine))
+        assert "memory-bound" in text or "compute-bound" in text
+        assert "csr-du" in text
+
+    def test_resident_matrix_infinite_intensity(self, machine):
+        """A fully cache-resident matrix has no DRAM traffic."""
+        m = realize(44, scale=SCALE)  # MS: small working set
+        big = clovertown_8core()  # unscaled caches: everything fits
+        p = roofline_point(convert(m, "csr"), 1, big)
+        assert p.intensity == float("inf")
+        assert not p.memory_bound

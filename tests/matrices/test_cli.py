@@ -1,0 +1,23 @@
+"""Tests for the catalog inspection CLI."""
+
+from repro.matrices.__main__ import main
+
+
+class TestCatalogCLI:
+    def test_summary(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "M0=77" in out
+        assert "syn069-" in out
+
+    def test_single_matrix(self, capsys):
+        assert main(["69", "--scale", "0.015625"]) == 0
+        out = capsys.readouterr().out
+        assert "id 69" in out
+        assert "csr-du index" in out
+        assert "ttu" in out
+
+    def test_multiple(self, capsys):
+        assert main(["44", "55", "--scale", "0.015625"]) == 0
+        out = capsys.readouterr().out
+        assert "id 44" in out and "id 55" in out

@@ -1,0 +1,118 @@
+"""Tests for Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CSRMatrix
+from repro.matrices.mmio import read_matrix_market, write_matrix_market
+
+from tests.conftest import random_sparse_dense
+
+
+class TestRoundTrip:
+    def test_memory_round_trip(self, paper_matrix, paper_dense):
+        buf = io.StringIO()
+        write_matrix_market(paper_matrix, buf)
+        buf.seek(0)
+        coo = read_matrix_market(buf)
+        assert np.allclose(coo.to_dense(), paper_dense)
+
+    def test_file_round_trip(self, tmp_path):
+        dense = random_sparse_dense(12, 9, seed=95)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(CSRMatrix.from_dense(dense), path)
+        coo = read_matrix_market(path)
+        assert np.allclose(coo.to_dense(), dense)
+
+    def test_values_exact(self, tmp_path):
+        """repr-based writing preserves doubles bit-for-bit."""
+        dense = np.zeros((2, 2))
+        dense[0, 0] = 1.0 / 3.0
+        dense[1, 1] = np.nextafter(2.0, 3.0)
+        path = tmp_path / "exact.mtx"
+        write_matrix_market(CSRMatrix.from_dense(dense), path)
+        coo = read_matrix_market(path)
+        assert np.array_equal(coo.to_dense(), dense)
+
+
+class TestReader:
+    def _read(self, text):
+        return read_matrix_market(io.StringIO(text))
+
+    def test_general_real(self):
+        coo = self._read(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% comment\n"
+            "2 3 2\n"
+            "1 1 1.5\n"
+            "2 3 -2.0\n"
+        )
+        assert coo.shape == (2, 3)
+        assert coo.to_dense()[1, 2] == -2.0
+
+    def test_symmetric_expansion(self):
+        coo = self._read(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 1.0\n"
+            "2 1 5.0\n"
+            "3 3 2.0\n"
+        )
+        d = coo.to_dense()
+        assert d[0, 1] == 5.0 and d[1, 0] == 5.0
+        assert coo.nnz == 4  # diagonal not duplicated
+
+    def test_skew_symmetric(self):
+        coo = self._read(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        d = coo.to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_pattern(self):
+        coo = self._read(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 2\n"
+            "2 1\n"
+        )
+        assert np.all(coo.values == 1.0)
+
+    def test_integer(self):
+        coo = self._read(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "1 1 1\n"
+            "1 1 7\n"
+        )
+        assert coo.values[0] == 7.0
+
+    def test_bad_header(self):
+        with pytest.raises(FormatError, match="header"):
+            self._read("%%NotMatrixMarket\n1 1 0\n")
+
+    def test_array_layout_rejected(self):
+        with pytest.raises(FormatError, match="coordinate"):
+            self._read("%%MatrixMarket matrix array real general\n")
+
+    def test_complex_rejected(self):
+        with pytest.raises(FormatError, match="field"):
+            self._read("%%MatrixMarket matrix coordinate complex general\n")
+
+    def test_hermitian_rejected(self):
+        with pytest.raises(FormatError, match="symmetry"):
+            self._read("%%MatrixMarket matrix coordinate real hermitian\n")
+
+    def test_bad_size_line(self):
+        with pytest.raises(FormatError, match="size"):
+            self._read("%%MatrixMarket matrix coordinate real general\nfoo bar\n")
+
+    def test_truncated_entries(self):
+        with pytest.raises(FormatError, match="truncated"):
+            self._read(
+                "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+            )

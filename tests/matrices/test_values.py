@@ -1,0 +1,66 @@
+"""Tests for the value models (ttu control)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError
+from repro.matrices.values import (
+    continuous_values,
+    pattern_values,
+    quantized_values,
+    set_matrix_values,
+)
+
+
+class TestContinuous:
+    def test_essentially_unique(self):
+        v = continuous_values(10_000, seed=1)
+        assert np.unique(v).size > 9_990
+
+    def test_away_from_zero(self):
+        v = continuous_values(1000, seed=2)
+        assert v.min() > 0.4
+
+    def test_deterministic(self):
+        assert np.array_equal(continuous_values(50, 7), continuous_values(50, 7))
+
+    def test_negative_rejected(self):
+        with pytest.raises(CatalogError):
+            continuous_values(-1, 0)
+
+
+class TestQuantized:
+    def test_exact_ttu(self):
+        v = quantized_values(1000, unique_count=25, seed=3)
+        assert np.unique(v).size == 25
+        # ttu exactly nnz / unique.
+        assert 1000 / np.unique(v).size == pytest.approx(40.0)
+
+    def test_full_coverage_guaranteed(self):
+        v = quantized_values(10, unique_count=10, seed=4)
+        assert np.unique(v).size == 10
+
+    def test_too_few_nnz(self):
+        with pytest.raises(CatalogError):
+            quantized_values(5, unique_count=10, seed=0)
+
+    def test_bad_unique(self):
+        with pytest.raises(CatalogError):
+            quantized_values(5, unique_count=0, seed=0)
+
+
+class TestSetValues:
+    def test_replaces_values_keeps_pattern(self, paper_matrix):
+        new_vals = np.arange(16.0) + 1
+        m = set_matrix_values(paper_matrix, new_vals)
+        assert np.array_equal(m.values, new_vals)
+        assert np.array_equal(m.col_ind, paper_matrix.col_ind)
+
+    def test_wrong_count(self, paper_matrix):
+        with pytest.raises(CatalogError):
+            set_matrix_values(paper_matrix, np.ones(7))
+
+    def test_pattern_values(self, paper_matrix):
+        m = pattern_values(paper_matrix)
+        assert np.all(m.values == 1.0)
+        assert m.nnz == paper_matrix.nnz

@@ -1,0 +1,140 @@
+"""Tests for segmented array primitives (incl. hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.nputil.segops import (
+    first_in_segment_mask,
+    segment_ids_from_offsets,
+    segment_lengths,
+    segmented_cumsum,
+    segmented_reduce,
+)
+
+
+def offsets_strategy(max_segments: int = 12, max_len: int = 8):
+    """Random CSR-style offsets arrays (empty segments included)."""
+    return st.lists(
+        st.integers(min_value=0, max_value=max_len), max_size=max_segments, min_size=1
+    ).map(lambda lens: np.concatenate(([0], np.cumsum(lens))).astype(np.int64))
+
+
+class TestSegmentIds:
+    def test_basic(self):
+        ids = segment_ids_from_offsets(np.array([0, 2, 2, 5]), 5)
+        assert ids.tolist() == [0, 0, 2, 2, 2]
+
+    def test_empty_everything(self):
+        assert segment_ids_from_offsets(np.array([0]), 0).size == 0
+
+    def test_all_empty_segments(self):
+        assert segment_ids_from_offsets(np.array([0, 0, 0]), 0).size == 0
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(FormatError):
+            segment_ids_from_offsets(np.array([0, 3]), 5)
+        with pytest.raises(FormatError):
+            segment_ids_from_offsets(np.array([1, 5]), 5)
+        with pytest.raises(FormatError):
+            segment_ids_from_offsets(np.array([0, 4, 2, 5]), 5)
+
+    @given(offsets_strategy())
+    def test_lengths_consistent(self, offsets):
+        n = int(offsets[-1])
+        ids = segment_ids_from_offsets(offsets, n)
+        counts = np.bincount(ids, minlength=offsets.size - 1)
+        assert counts.tolist() == segment_lengths(offsets).tolist()
+
+
+class TestFirstInSegment:
+    def test_basic(self):
+        mask = first_in_segment_mask(np.array([0, 2, 2, 5]), 5)
+        assert mask.tolist() == [True, False, True, False, False]
+
+    def test_empty(self):
+        assert first_in_segment_mask(np.array([0]), 0).size == 0
+
+
+class TestSegmentedCumsum:
+    def test_basic(self):
+        out = segmented_cumsum(np.array([1, 2, 3, 4]), np.array([0, 2, 4]))
+        assert out.tolist() == [1, 3, 3, 7]
+
+    def test_with_empty_segments(self):
+        out = segmented_cumsum(np.array([5, 1, 1]), np.array([0, 1, 1, 3]))
+        assert out.tolist() == [5, 1, 2]
+
+    def test_empty_input(self):
+        out = segmented_cumsum(np.array([], dtype=np.int64), np.array([0, 0]))
+        assert out.size == 0
+
+    def test_single_segment_matches_cumsum(self):
+        values = np.arange(10)
+        out = segmented_cumsum(values, np.array([0, 10]))
+        assert out.tolist() == np.cumsum(values).tolist()
+
+    @given(offsets_strategy(), st.data())
+    def test_matches_python_reference(self, offsets, data):
+        n = int(offsets[-1])
+        values = np.asarray(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=-100, max_value=100),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=np.int64,
+        )
+        out = segmented_cumsum(values, offsets)
+        expected = np.empty(n, dtype=np.int64)
+        for s in range(offsets.size - 1):
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            acc = 0
+            for i in range(lo, hi):
+                acc += int(values[i])
+                expected[i] = acc
+        assert out.tolist() == expected.tolist()
+
+
+class TestSegmentedReduce:
+    def test_basic_with_empty(self):
+        out = segmented_reduce(np.array([1.0, 2.0, 3.0]), np.array([0, 2, 2, 3]))
+        assert out.tolist() == [3.0, 0.0, 3.0]
+
+    def test_all_empty(self):
+        out = segmented_reduce(np.array([], dtype=np.float64), np.array([0, 0, 0]))
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_no_segments(self):
+        out = segmented_reduce(np.array([], dtype=np.float64), np.array([0]))
+        assert out.size == 0
+
+    def test_int_input_widens(self):
+        out = segmented_reduce(np.array([1, 2], dtype=np.int8), np.array([0, 2]))
+        assert out.dtype == np.int64
+
+    @given(offsets_strategy(), st.data())
+    def test_matches_python_reference(self, offsets, data):
+        n = int(offsets[-1])
+        values = np.asarray(
+            data.draw(
+                st.lists(
+                    st.floats(
+                        min_value=-100, max_value=100, allow_nan=False
+                    ),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=np.float64,
+        )
+        out = segmented_reduce(values, offsets)
+        expected = [
+            float(values[int(offsets[s]) : int(offsets[s + 1])].sum())
+            for s in range(offsets.size - 1)
+        ]
+        assert np.allclose(out, expected)

@@ -1,0 +1,81 @@
+"""Tests for the block-partitioned executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.formats import CSRMatrix
+from repro.parallel import BlockParallelSpMV, ParallelSpMV
+
+from tests.conftest import random_sparse_dense
+
+
+@pytest.fixture(scope="module")
+def dense():
+    return random_sparse_dense(34, 47, seed=201, empty_rows=True)
+
+
+@pytest.fixture(scope="module")
+def csr(dense):
+    return CSRMatrix.from_dense(dense)
+
+
+class TestBlockParallelSpMV:
+    @pytest.mark.parametrize("nthreads", [1, 2, 3, 4])
+    def test_matches_dense(self, dense, csr, nthreads):
+        x = np.random.default_rng(31).random(dense.shape[1])
+        with BlockParallelSpMV(csr, nthreads) as p:
+            assert np.allclose(p(x), dense @ x)
+
+    def test_custom_grid(self, dense, csr):
+        x = np.random.default_rng(32).random(csr.ncols)
+        with BlockParallelSpMV(csr, 2, grid=(3, 5)) as p:
+            assert np.allclose(p(x), dense @ x)
+
+    def test_matches_row_partitioned(self, csr):
+        x = np.random.default_rng(33).random(csr.ncols)
+        with ParallelSpMV(csr, 3) as rows, BlockParallelSpMV(csr, 3) as blocks:
+            assert np.allclose(rows(x), blocks(x))
+
+    def test_tiles_cover_all_nonzeros(self, csr):
+        p = BlockParallelSpMV(csr, 3)
+        try:
+            total = sum(
+                tile.nnz for mine in p.tiles for (_, _, tile) in mine
+            )
+            assert total == csr.nnz
+        finally:
+            p.close()
+
+    def test_repeated_calls(self, csr):
+        x = np.random.default_rng(34).random(csr.ncols)
+        with BlockParallelSpMV(csr, 2) as p:
+            first = p(x).copy()
+            assert np.array_equal(p(x), first)
+
+    def test_out_parameter(self, csr, dense):
+        x = np.ones(csr.ncols)
+        out = np.empty(csr.nrows)
+        with BlockParallelSpMV(csr, 2) as p:
+            assert p(x, out=out) is out
+        assert np.allclose(out, dense @ x)
+
+    def test_wrong_x_shape(self, csr):
+        with BlockParallelSpMV(csr, 2) as p:
+            with pytest.raises(PartitionError):
+                p(np.ones(csr.ncols + 1))
+
+    def test_bad_threads(self, csr):
+        with pytest.raises(PartitionError):
+            BlockParallelSpMV(csr, 0)
+
+    def test_all_three_schemes_agree(self, csr):
+        """Section II-C's three parallelization schemes, one answer."""
+        from repro.parallel import ColumnParallelSpMV
+
+        x = np.random.default_rng(35).random(csr.ncols)
+        with ParallelSpMV(csr, 4) as a, ColumnParallelSpMV(csr, 4) as b, \
+                BlockParallelSpMV(csr, 4) as c:
+            ya, yb, yc = a(x), b(x), c(x)
+        assert np.allclose(ya, yb)
+        assert np.allclose(ya, yc)

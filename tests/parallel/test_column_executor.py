@@ -1,0 +1,68 @@
+"""Tests for the column-partitioned executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.formats import CSRMatrix
+from repro.parallel import ColumnParallelSpMV, ParallelSpMV
+
+from tests.conftest import random_sparse_dense
+
+
+@pytest.fixture(scope="module")
+def dense():
+    return random_sparse_dense(40, 55, seed=101, empty_rows=True)
+
+
+@pytest.fixture(scope="module")
+def csr(dense):
+    return CSRMatrix.from_dense(dense)
+
+
+class TestColumnParallelSpMV:
+    @pytest.mark.parametrize("nthreads", [1, 2, 3, 5])
+    def test_matches_dense(self, dense, csr, nthreads):
+        x = np.random.default_rng(21).random(dense.shape[1])
+        with ColumnParallelSpMV(csr, nthreads) as p:
+            assert np.allclose(p(x), dense @ x)
+
+    def test_matches_row_partitioned(self, csr):
+        """Both schemes compute the same product (Section II-C)."""
+        x = np.random.default_rng(22).random(csr.ncols)
+        with ParallelSpMV(csr, 3) as rows, ColumnParallelSpMV(csr, 3) as cols:
+            assert np.allclose(rows(x), cols(x))
+
+    def test_partition_balanced(self, csr):
+        p = ColumnParallelSpMV(csr, 4)
+        try:
+            assert p.partition.nnz_per_thread.sum() == csr.nnz
+        finally:
+            p.close()
+
+    def test_out_parameter(self, csr, dense):
+        x = np.ones(csr.ncols)
+        out = np.empty(csr.nrows)
+        with ColumnParallelSpMV(csr, 2) as p:
+            assert p(x, out=out) is out
+        assert np.allclose(out, dense @ x)
+
+    def test_repeated_calls_reuse_partials(self, csr):
+        x = np.random.default_rng(23).random(csr.ncols)
+        with ColumnParallelSpMV(csr, 2) as p:
+            first = p(x).copy()
+            assert np.allclose(p(x), first)
+
+    def test_wrong_x_shape(self, csr):
+        with ColumnParallelSpMV(csr, 2) as p:
+            with pytest.raises(PartitionError):
+                p(np.ones(csr.ncols + 1))
+
+    def test_bad_threads(self, csr):
+        with pytest.raises(PartitionError):
+            ColumnParallelSpMV(csr, 0)
+
+    def test_more_threads_than_columns(self):
+        csr = CSRMatrix.from_dense(np.eye(3))
+        with ColumnParallelSpMV(csr, 8) as p:
+            assert np.allclose(p(np.ones(3)), np.ones(3))

@@ -1,0 +1,93 @@
+"""Threaded SpMV must be bit-identical to serial execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.formats import CSRMatrix
+from repro.parallel.executor import ParallelSpMV, reduce_partial_results
+
+from tests.conftest import random_sparse_dense
+
+
+@pytest.fixture(scope="module")
+def dense():
+    return random_sparse_dense(60, 45, seed=60, quantize=8, empty_rows=True)
+
+
+@pytest.fixture(scope="module")
+def csr(dense):
+    return CSRMatrix.from_dense(dense)
+
+
+class TestParallelSpMV:
+    @pytest.mark.parametrize("nthreads", [1, 2, 3, 4, 8])
+    @pytest.mark.parametrize("fmt", ["csr", "csr-du", "csr-vi", "csr-du-vi"])
+    def test_matches_dense(self, dense, csr, nthreads, fmt):
+        x = np.random.default_rng(11).random(dense.shape[1])
+        with ParallelSpMV(csr, nthreads, format_name=fmt) as p:
+            assert np.allclose(p(x), dense @ x)
+
+    def test_identical_to_serial(self, csr):
+        """Row partitioning changes nothing numerically: each y element
+        is computed by exactly one thread, in the same order."""
+        x = np.random.default_rng(12).random(csr.ncols)
+        with ParallelSpMV(csr, 1) as serial, ParallelSpMV(csr, 4) as par:
+            assert np.array_equal(serial(x), par(x))
+
+    def test_out_parameter(self, csr, dense):
+        x = np.ones(csr.ncols)
+        out = np.empty(csr.nrows)
+        with ParallelSpMV(csr, 2) as p:
+            ret = p(x, out=out)
+        assert ret is out
+        assert np.allclose(out, dense @ x)
+
+    def test_repeated_calls(self, csr):
+        """The pool is persistent: many calls, consistent results."""
+        x = np.random.default_rng(13).random(csr.ncols)
+        with ParallelSpMV(csr, 4) as p:
+            first = p(x).copy()
+            for _ in range(5):
+                assert np.array_equal(p(x), first)
+
+    def test_more_threads_than_rows(self):
+        dense = np.diag([1.0, 2.0])
+        csr = CSRMatrix.from_dense(dense)
+        with ParallelSpMV(csr, 8) as p:
+            assert np.allclose(p(np.ones(2)), [1.0, 2.0])
+
+    def test_partition_is_nnz_balanced(self, csr):
+        p = ParallelSpMV(csr, 4)
+        try:
+            assert p.partition.imbalance() < 1.6
+        finally:
+            p.close()
+
+    def test_bad_thread_count(self, csr):
+        with pytest.raises(PartitionError):
+            ParallelSpMV(csr, 0)
+
+    def test_close_idempotent(self, csr):
+        p = ParallelSpMV(csr, 2)
+        p.close()
+        p.close()
+
+    def test_format_kwargs(self, csr):
+        with ParallelSpMV(csr, 2, format_name="csr-du", policy="aligned") as p:
+            assert all(chunk.policy == "aligned" for chunk in p.chunks)
+
+
+class TestReduce:
+    def test_sums(self):
+        parts = [np.ones(3), 2 * np.ones(3)]
+        assert reduce_partial_results(parts).tolist() == [3.0, 3.0, 3.0]
+
+    def test_does_not_mutate_inputs(self):
+        a = np.ones(2)
+        reduce_partial_results([a, a])
+        assert a.tolist() == [1.0, 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            reduce_partial_results([])

@@ -1,0 +1,99 @@
+"""Tests for BiCGSTAB and Jacobi-preconditioned CG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, FormatError
+from repro.formats import CSRMatrix, convert
+from repro.solvers import bicgstab, conjugate_gradient, preconditioned_cg
+
+from tests.solvers.test_cg import poisson_system
+from tests.solvers.test_gmres import nonsymmetric_system
+
+
+class TestBiCGSTAB:
+    def test_solves_nonsymmetric(self):
+        A, b, x_true = nonsymmetric_system()
+        res = bicgstab(A, b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_two_spmv_per_iteration(self):
+        A, b, _ = nonsymmetric_system()
+        res = bicgstab(A, b, tol=1e-10)
+        assert res.spmv_calls <= 2 * res.iterations + 1
+
+    @pytest.mark.parametrize("fmt", ["csr-du", "csr-vi", "csr-du-vi"])
+    def test_compressed_formats(self, fmt):
+        A, b, x_true = nonsymmetric_system()
+        res = bicgstab(convert(A, fmt), b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_spd_system_too(self):
+        A, b, x_true = poisson_system()
+        res = bicgstab(A, b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_budget(self):
+        A, b, _ = nonsymmetric_system(40, seed=9)
+        res = bicgstab(A, b, tol=1e-15, maxiter=2)
+        assert res.iterations <= 2
+
+    def test_warm_start(self):
+        A, b, x_true = nonsymmetric_system()
+        res = bicgstab(A, b, x0=x_true)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_nonsquare(self):
+        with pytest.raises(FormatError):
+            bicgstab(CSRMatrix.from_dense(np.ones((2, 3))), np.ones(2))
+
+    def test_zero_rhs(self):
+        A, _, _ = nonsymmetric_system()
+        res = bicgstab(A, np.zeros(A.nrows))
+        assert res.converged and res.iterations == 0
+
+
+class TestPreconditionedCG:
+    def test_solves_poisson(self):
+        A, b, x_true = poisson_system()
+        res = preconditioned_cg(A, b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_helps_on_stiff_diagonal(self):
+        """Badly scaled diagonal: PCG needs far fewer iterations."""
+        rng = np.random.default_rng(5)
+        n = 120
+        dense = np.zeros((n, n))
+        scale = 10.0 ** rng.uniform(0, 4, size=n)
+        for i in range(n - 1):
+            dense[i, i + 1] = dense[i + 1, i] = -0.3
+        np.fill_diagonal(dense, scale + 0.6)
+        A = CSRMatrix.from_dense(dense)
+        x_true = rng.random(n)
+        b = A.spmv(x_true)
+        plain = conjugate_gradient(A, b, tol=1e-10, maxiter=4000)
+        pre = preconditioned_cg(A, b, tol=1e-10, maxiter=4000)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    @pytest.mark.parametrize("fmt", ["csr-du", "csr-vi"])
+    def test_compressed_formats(self, fmt):
+        A, b, x_true = poisson_system()
+        res = preconditioned_cg(convert(A, fmt), b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_nonpositive_diagonal_rejected(self):
+        A = CSRMatrix.from_dense(np.array([[1.0, 2.0], [2.0, -1.0]]))
+        with pytest.raises(ConvergenceError, match="diagonal"):
+            preconditioned_cg(A, np.ones(2))
+
+    def test_zero_rhs(self):
+        A, _, _ = poisson_system()
+        res = preconditioned_cg(A, np.zeros(A.ncols))
+        assert res.converged and res.iterations == 0

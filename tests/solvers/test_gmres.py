@@ -1,0 +1,72 @@
+"""Tests for restarted GMRES."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CSRMatrix, convert
+from repro.solvers import gmres
+
+
+def nonsymmetric_system(n=30, seed=1):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n)) * (rng.random((n, n)) < 0.15)
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 2.0)
+    dense[0, n - 1] += 1.0  # break symmetry explicitly
+    A = CSRMatrix.from_dense(dense)
+    x_true = rng.random(n)
+    return A, A.spmv(x_true), x_true
+
+
+class TestGMRES:
+    def test_solves_nonsymmetric(self):
+        A, b, x_true = nonsymmetric_system()
+        res = gmres(A, b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_restart_smaller_than_dimension(self):
+        A, b, x_true = nonsymmetric_system(40)
+        res = gmres(A, b, tol=1e-10, restart=5)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-5)
+
+    @pytest.mark.parametrize("fmt", ["csr-du", "csr-vi", "csr-du-vi"])
+    def test_compressed_formats(self, fmt):
+        A, b, x_true = nonsymmetric_system()
+        res = gmres(convert(A, fmt), b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_warm_start_exact(self):
+        A, b, x_true = nonsymmetric_system()
+        res = gmres(A, b, x0=x_true)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_maxiter_budget(self):
+        A, b, _ = nonsymmetric_system(50, seed=3)
+        res = gmres(A, b, tol=1e-15, maxiter=4, restart=2)
+        assert res.iterations <= 4
+
+    def test_identity_one_step(self):
+        A = CSRMatrix.from_dense(np.eye(6))
+        b = np.arange(6.0) + 1
+        res = gmres(A, b)
+        assert res.converged
+        assert np.allclose(res.x, b)
+
+    def test_bad_restart(self):
+        A, b, _ = nonsymmetric_system()
+        with pytest.raises(FormatError):
+            gmres(A, b, restart=0)
+
+    def test_nonsquare(self):
+        with pytest.raises(FormatError):
+            gmres(CSRMatrix.from_dense(np.ones((2, 3))), np.ones(2))
+
+    def test_matches_dense_solve(self):
+        A, b, _ = nonsymmetric_system(25, seed=5)
+        res = gmres(A, b, tol=1e-12)
+        expected = np.linalg.solve(A.to_dense(), b)
+        assert np.allclose(res.x, expected, atol=1e-7)

@@ -1,0 +1,58 @@
+"""Tests for Jacobi iteration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, FormatError
+from repro.formats import CSRMatrix, convert
+from repro.solvers import jacobi
+
+
+def diag_dominant(n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n)) * (rng.random((n, n)) < 0.2)
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    A = CSRMatrix.from_dense(dense)
+    x_true = rng.random(n)
+    return A, A.spmv(x_true), x_true
+
+
+class TestJacobi:
+    def test_converges_diag_dominant(self):
+        A, b, x_true = diag_dominant()
+        res = jacobi(A, b, tol=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    @pytest.mark.parametrize("fmt", ["csr-du", "csr-vi"])
+    def test_compressed_formats(self, fmt):
+        A, b, x_true = diag_dominant()
+        res = jacobi(convert(A, fmt), b, tol=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_weighted(self):
+        A, b, x_true = diag_dominant()
+        res = jacobi(A, b, tol=1e-12, omega=0.8)
+        assert res.converged
+
+    def test_zero_diagonal_rejected(self):
+        A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ConvergenceError, match="diagonal"):
+            jacobi(A, np.ones(2))
+
+    def test_nonconvergent_budget(self):
+        # Not diagonally dominant: may stall; the budget must hold.
+        A = CSRMatrix.from_dense(np.array([[1.0, 3.0], [3.0, 1.0]]))
+        res = jacobi(A, np.ones(2), maxiter=10)
+        assert not res.converged
+        assert res.iterations == 10
+
+    def test_nonsquare(self):
+        with pytest.raises(FormatError):
+            jacobi(CSRMatrix.from_dense(np.ones((2, 3))), np.ones(2))
+
+    def test_spmv_calls_counted(self):
+        A, b, _ = diag_dominant()
+        res = jacobi(A, b, tol=1e-10)
+        assert res.spmv_calls == res.iterations + 1

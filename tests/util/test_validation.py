@@ -1,0 +1,79 @@
+"""Tests for the input-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.util.validation import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    as_index_array,
+    as_value_array,
+    check_dimensions,
+    check_in_range,
+    check_monotone,
+)
+
+
+class TestAsIndexArray:
+    def test_converts_dtype(self):
+        out = as_index_array(np.array([1, 2, 3], dtype=np.int64), "x")
+        assert out.dtype == INDEX_DTYPE
+        assert out.tolist() == [1, 2, 3]
+
+    def test_rejects_float(self):
+        with pytest.raises(FormatError, match="integer"):
+            as_index_array(np.array([1.0, 2.0]), "x")
+
+    def test_rejects_2d(self):
+        with pytest.raises(FormatError, match="1-D"):
+            as_index_array(np.zeros((2, 2), dtype=np.int32), "x")
+
+    def test_rejects_overflow(self):
+        with pytest.raises(FormatError, match="overflow"):
+            as_index_array(np.array([1 << 40]), "x")
+
+    def test_accepts_lists(self):
+        assert as_index_array([0, 5], "x").tolist() == [0, 5]
+
+    def test_empty(self):
+        assert as_index_array(np.array([], dtype=np.int64), "x").size == 0
+
+    def test_custom_dtype(self):
+        out = as_index_array([1, 2], "x", dtype=np.dtype(np.int16))
+        assert out.dtype == np.int16
+
+
+class TestAsValueArray:
+    def test_converts(self):
+        out = as_value_array([1, 2.5], "v")
+        assert out.dtype == VALUE_DTYPE
+        assert out.tolist() == [1.0, 2.5]
+
+    def test_rejects_strings(self):
+        with pytest.raises(FormatError, match="numeric"):
+            as_value_array(np.array(["a"]), "v")
+
+    def test_rejects_2d(self):
+        with pytest.raises(FormatError, match="1-D"):
+            as_value_array(np.zeros((2, 2)), "v")
+
+
+class TestChecks:
+    def test_dimensions(self):
+        assert check_dimensions(3, 4) == (3, 4)
+        with pytest.raises(FormatError):
+            check_dimensions(-1, 4)
+
+    def test_monotone(self):
+        check_monotone(np.array([0, 0, 2, 5]), "p")
+        with pytest.raises(FormatError, match="non-decreasing"):
+            check_monotone(np.array([0, 3, 1]), "p")
+
+    def test_in_range(self):
+        check_in_range(np.array([0, 4]), 5, "c")
+        with pytest.raises(FormatError):
+            check_in_range(np.array([5]), 5, "c")
+        with pytest.raises(FormatError):
+            check_in_range(np.array([-1]), 5, "c")
+        check_in_range(np.array([], dtype=np.int32), 0, "c")  # empty is fine
