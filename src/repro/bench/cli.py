@@ -6,6 +6,15 @@ Regenerates any paper table/figure or ablation at a chosen scale::
     python -m repro.bench table3 table4 --scale 1.0
     python -m repro.bench fig7 --limit 20
     python -m repro.bench all --scale 0.0625 --out results.txt
+
+Telemetry: ``--trace PATH`` records every span/counter of the run as
+JSONL, ``--chrome-trace PATH`` writes the same events for
+``chrome://tracing``, and the ``profile`` pseudo-experiment runs the
+experiments after it with telemetry on and prints the top spans and
+counters instead of requiring a trace file::
+
+    python -m repro.bench table2 --scale 0.0625 --trace /tmp/t.jsonl
+    python -m repro.bench profile table2 --scale 0.0625
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ import argparse
 import sys
 import time
 
+from repro import telemetry
 from repro.bench import experiments as exp
 from repro.bench.harness import ExperimentConfig
 from repro.bench.report import (
@@ -21,6 +31,7 @@ from repro.bench.report import (
     format_speedup_table,
     format_table2,
 )
+from repro.telemetry.export import export_all, summary
 
 _EXPERIMENTS = ("table2", "table3", "table4", "fig7", "fig8", "ablations")
 
@@ -88,7 +99,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help=f"experiments to run: {', '.join(_EXPERIMENTS)}, or 'all'",
+        help=(
+            f"experiments to run: {', '.join(_EXPERIMENTS)}, or 'all'; "
+            "prefix with 'profile' to print a telemetry summary"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -109,30 +123,69 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="record structured results (with machine/cost-model context) as JSON",
     )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        help="enable telemetry and write the event stream as JSONL",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        type=str,
+        default=None,
+        help="enable telemetry and write a chrome://tracing JSON file",
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
+    profile = False
+    if names and names[0] == "profile":
+        profile = True
+        names = names[1:]
+        if not names:
+            parser.error("'profile' needs at least one experiment to run")
     if "all" in names:
         names = list(_EXPERIMENTS)
     config = ExperimentConfig(scale=args.scale)
-    blocks = []
-    structured: dict[str, object] = {}
-    for name in names:
-        start = time.perf_counter()
-        text, result = _run_one(name, config, args.limit)
-        elapsed = time.perf_counter() - start
-        blocks.append(f"=== {name} (scale={args.scale:g}, {elapsed:.1f}s) ===\n{text}\n")
-        if args.json and result is not None:
-            structured[name] = result
-    output = "\n".join(blocks)
-    print(output)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            fh.write(output)
-    if args.json and structured:
-        from repro.bench.record import record_run
+    trace_on = profile or args.trace or args.chrome_trace
+    prev_collector = (
+        telemetry.set_collector(telemetry.Collector()) if trace_on else None
+    )
+    try:
+        blocks = []
+        structured: dict[str, object] = {}
+        for name in names:
+            start = time.perf_counter()
+            text, result = _run_one(name, config, args.limit)
+            elapsed = time.perf_counter() - start
+            blocks.append(
+                f"=== {name} (scale={args.scale:g}, {elapsed:.1f}s) ===\n{text}\n"
+            )
+            if args.json and result is not None:
+                structured[name] = result
+        output = "\n".join(blocks)
+        print(output)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(output)
+        if args.json and structured:
+            from repro.bench.record import record_run
 
-        record_run(structured, config, args.json)
+            record_run(structured, config, args.json)
+        if trace_on:
+            collector = telemetry.get_collector()
+            written = export_all(
+                collector, jsonl_path=args.trace, chrome_path=args.chrome_trace
+            )
+            for kind, n in written.items():
+                target = args.trace if kind == "jsonl" else args.chrome_trace
+                print(f"[telemetry] wrote {n} {kind} events to {target}")
+            if profile:
+                print()
+                print(summary(collector))
+    finally:
+        if trace_on:
+            telemetry.set_collector(prev_collector)
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.machine.costmodel import CostModel, default_cost_model
 from repro.machine.simulate import simulate_spmv
 from repro.machine.topology import MachineSpec, clovertown_8core
 from repro.matrices.collection import realize
+from repro.telemetry import core as telemetry
 from repro.util.timing import measure
 
 #: The paper's thread configurations for Table II: thread count plus
@@ -93,49 +94,70 @@ def run_format_matrix(
     *,
     matrix_id: int = -1,
     configs: tuple[tuple[int, str], ...] = TABLE2_CONFIGS,
+    csr_storage: Storage | None = None,
     **format_kwargs,
 ) -> MatrixResult:
-    """Measure one matrix in one format across thread configurations."""
-    converted = convert(matrix, format_name, **format_kwargs)
-    machine = config.scaled_machine()
-    times: dict[tuple[int, str], float] = {}
-    mflops: dict[tuple[int, str], float] = {}
-    bounds: dict[tuple[int, str], str] = {}
-    for threads, placement in configs:
-        key = (threads, placement)
-        if config.clock == "model":
-            res = simulate_spmv(
-                converted,
-                threads,
-                machine,
-                placement=placement,
-                cost_model=config.cost_model,
-            )
-            times[key] = res.time_s
-            mflops[key] = res.mflops
-            bounds[key] = res.bound
-        elif config.clock == "real":
-            if threads != 1:
-                raise ReproError(
-                    "the real clock only supports serial runs on this host "
-                    "(single CPU); use the model clock for scaling studies"
-                )
-            import numpy as np
+    """Measure one matrix in one format across thread configurations.
 
-            rng = np.random.default_rng(0)
-            x = rng.random(converted.ncols)
-            converted.spmv(x)  # warm caches / decode caches
-            m = measure(lambda: converted.spmv(x), calls=config.real_calls, repeats=3)
-            times[key] = m.per_call
-            mflops[key] = 2 * converted.nnz / m.per_call / 1e6
-            bounds[key] = "wallclock"
-        else:
-            raise ReproError(f"unknown clock {config.clock!r}")
+    ``csr_storage`` is the matrix's CSR baseline footprint (the
+    denominator of every size-reduction figure).  Callers looping over
+    several formats of the same matrix should compute it once and pass
+    it down -- :func:`run_set` does -- since re-deriving it per format
+    re-encodes the whole matrix; when omitted it is computed here.
+    """
+    with telemetry.span(
+        "bench.cell", matrix_id=matrix_id, format=format_name
+    ) as cell:
+        converted = convert(matrix, format_name, **format_kwargs)
+        machine = config.scaled_machine()
+        times: dict[tuple[int, str], float] = {}
+        mflops: dict[tuple[int, str], float] = {}
+        bounds: dict[tuple[int, str], str] = {}
+        for threads, placement in configs:
+            key = (threads, placement)
+            if config.clock == "model":
+                res = simulate_spmv(
+                    converted,
+                    threads,
+                    machine,
+                    placement=placement,
+                    cost_model=config.cost_model,
+                )
+                times[key] = res.time_s
+                mflops[key] = res.mflops
+                bounds[key] = res.bound
+            elif config.clock == "real":
+                if threads != 1:
+                    raise ReproError(
+                        "the real clock only supports serial runs on this host "
+                        "(single CPU); use the model clock for scaling studies"
+                    )
+                import numpy as np
+
+                rng = np.random.default_rng(0)
+                x = rng.random(converted.ncols)
+                converted.spmv(x)  # warm caches / decode caches
+                with telemetry.span(
+                    "bench.measure", matrix_id=matrix_id, format=format_name
+                ):
+                    m = measure(
+                        lambda: converted.spmv(x),
+                        calls=config.real_calls,
+                        repeats=3,
+                    )
+                times[key] = m.per_call
+                mflops[key] = 2 * converted.nnz / m.per_call / 1e6
+                bounds[key] = "wallclock"
+            else:
+                raise ReproError(f"unknown clock {config.clock!r}")
+        if csr_storage is None:
+            csr_storage = convert(matrix, "csr").storage()
+        cell.add(nnz=converted.nnz)
     return MatrixResult(
         matrix_id=matrix_id,
         format_name=format_name,
         storage=converted.storage(),
-        csr_storage=convert(matrix, "csr").storage(),
+        csr_storage=csr_storage,
         times=times,
         mflops=mflops,
         bounds=bounds,
@@ -157,13 +179,29 @@ def run_set(
     """
     out: dict[int, dict[str, MatrixResult]] = {}
     for mid in ids:
-        matrix = realize(mid, scale=config.scale)
-        per_fmt: dict[str, MatrixResult] = {}
-        for fmt in formats:
-            per_fmt[fmt] = run_format_matrix(
-                matrix, fmt, config, matrix_id=mid, configs=configs
-            )
-        out[mid] = per_fmt
+        with telemetry.span("bench.matrix", matrix_id=mid):
+            matrix = realize(mid, scale=config.scale)
+            # One CSR baseline per matrix: every format's size-reduction
+            # figure shares the denominator, so encode it exactly once.
+            csr_storage = convert(matrix, "csr").storage()
+            if telemetry.enabled() and not any(
+                f.startswith("csr-du") for f in formats
+            ):
+                # Tracing asks "what structure does this matrix have?"
+                # even for CSR-only experiments, so record the CSR-DU
+                # unit census (the encode emits the width histogram).
+                convert(matrix, "csr-du")
+            per_fmt: dict[str, MatrixResult] = {}
+            for fmt in formats:
+                per_fmt[fmt] = run_format_matrix(
+                    matrix,
+                    fmt,
+                    config,
+                    matrix_id=mid,
+                    configs=configs,
+                    csr_storage=csr_storage,
+                )
+            out[mid] = per_fmt
     return out
 
 

@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.compress.delta import Unit
 from repro.errors import EncodingError
+from repro.telemetry import core as telemetry
+from repro.telemetry.metrics import record_ctl_stream
 from repro.util.bitops import (
     WIDTH_BYTES,
     decode_varint,
@@ -51,11 +53,22 @@ _KNOWN_MASK = _CLASS_MASK | FLAG_NR | FLAG_RJMP | FLAG_SEQ
 
 
 class CtlWriter:
-    """Accumulates units into a ctl byte stream."""
+    """Accumulates units into a ctl byte stream.
+
+    Alongside the stream the writer keeps the encode census --
+    ``class_counts`` (units per delta width class), ``new_rows`` and
+    ``seq_units`` -- which :meth:`getvalue` reports to the telemetry
+    collector when one is active (the paper's Table I statistics, per
+    encode).
+    """
 
     def __init__(self) -> None:
         self._buf = bytearray()
         self.nunits = 0
+        self.class_counts = [0, 0, 0, 0]
+        self.new_rows = 0
+        self.seq_units = 0
+        self._reported = False
 
     def append(self, unit: Unit) -> None:
         """Serialize one :class:`~repro.compress.delta.Unit`."""
@@ -83,9 +96,26 @@ class CtlWriter:
         elif unit.deltas.size:
             self._buf += pack_fixed(unit.deltas, unit.cls)
         self.nunits += 1
+        self.class_counts[unit.cls & _CLASS_MASK] += 1
+        if unit.new_row:
+            self.new_rows += 1
+        if unit.seq:
+            self.seq_units += 1
 
     def getvalue(self) -> bytes:
-        """The finished stream as an immutable byte string."""
+        """The finished stream as an immutable byte string.
+
+        Reports the encode census to the active telemetry collector
+        (once per writer, however often the value is re-read).
+        """
+        if telemetry.enabled() and not self._reported:
+            self._reported = True
+            record_ctl_stream(
+                self.class_counts,
+                new_rows=self.new_rows,
+                seq_units=self.seq_units,
+                ctl_bytes=len(self._buf),
+            )
         return bytes(self._buf)
 
 

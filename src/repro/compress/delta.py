@@ -39,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import EncodingError, FormatError
+from repro.telemetry import core as telemetry
 from repro.util.bitops import width_class_array
 
 #: Maximum nonzeros per unit: ``usize`` is stored in one byte.
@@ -288,6 +289,22 @@ def unitize(
         raise FormatError(f"max_unit must be in [2, {MAX_UNIT_SIZE}]")
     row_ptr = np.asarray(row_ptr, dtype=np.int64)
     col_ind = np.asarray(col_ind, dtype=np.int64)
+    with telemetry.span(
+        "encode.csr_du.unitize",
+        policy=policy,
+        nrows=row_ptr.size - 1,
+        nnz=col_ind.size,
+    ):
+        return _unitize(row_ptr, col_ind, policy=policy, max_unit=max_unit)
+
+
+def _unitize(
+    row_ptr: np.ndarray,
+    col_ind: np.ndarray,
+    *,
+    policy: str,
+    max_unit: int,
+) -> list[Unit]:
     nnz = col_ind.size
     # One vectorized pass over the whole matrix: per-element deltas
     # (row-start deltas measured from column 0) and width classes.

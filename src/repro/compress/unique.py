@@ -23,6 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import FormatError
+from repro.telemetry import core as telemetry
+from repro.telemetry.metrics import record_unique_values
 
 #: The paper's empirical applicability threshold for CSR-VI.
 TTU_THRESHOLD = 5.0
@@ -91,9 +93,17 @@ def unique_index_values(values: np.ndarray) -> UniqueValues:
     values = np.asarray(values)
     if values.size and np.isnan(values).any():
         raise FormatError("values contain NaN; CSR-VI requires comparable values")
-    vals_unique, inverse = np.unique(values, return_inverse=True)
-    dtype = index_dtype_for(vals_unique.size)
+    with telemetry.span("encode.csr_vi.unique", nnz=values.size):
+        vals_unique, inverse = np.unique(values, return_inverse=True)
+        dtype = index_dtype_for(vals_unique.size)
     ttu = values.size / vals_unique.size if vals_unique.size else 0.0
+    if telemetry.enabled():
+        record_unique_values(
+            unique_count=vals_unique.size,
+            val_ind_bits=dtype.itemsize * 8,
+            ttu=float(ttu),
+            nnz=values.size,
+        )
     return UniqueValues(
         vals_unique=vals_unique,
         val_ind=inverse.astype(dtype),

@@ -38,6 +38,10 @@ class CatalogError(ReproError):
     """A matrix-catalog entry is unknown or cannot be realized."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry event, trace file, or collector operation is invalid."""
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to reach its tolerance.
 

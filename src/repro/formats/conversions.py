@@ -12,6 +12,7 @@ from repro.errors import FormatError
 from repro.formats.base import SparseMatrix, get_format
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
+from repro.telemetry import core as telemetry
 
 
 def to_csr(matrix: SparseMatrix) -> CSRMatrix:
@@ -38,9 +39,12 @@ def convert(matrix: SparseMatrix, name: str, **kwargs) -> SparseMatrix:
     cls = get_format(name)
     if isinstance(matrix, cls) and not kwargs:
         return matrix
-    csr = to_csr(matrix)
-    if cls is CSRMatrix:
-        return csr
-    if cls is COOMatrix:
-        return csr.to_coo()
-    return cls.from_csr(csr, **kwargs)
+    with telemetry.span(
+        "convert", target=name, nrows=matrix.nrows, ncols=matrix.ncols
+    ):
+        csr = to_csr(matrix)
+        if cls is CSRMatrix:
+            return csr
+        if cls is COOMatrix:
+            return csr.to_coo()
+        return cls.from_csr(csr, **kwargs)

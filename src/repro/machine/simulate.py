@@ -15,6 +15,8 @@ from repro.machine.costmodel import CostModel, default_cost_model
 from repro.machine.engine import SimResult, solve_makespan
 from repro.machine.topology import MachineSpec, clovertown_8core, place_threads
 from repro.machine.traffic import VALUE_SIZE, analyze_threads
+from repro.telemetry import core as telemetry
+from repro.telemetry.metrics import record_sim_result
 
 
 def simulate_spmv(
@@ -43,19 +45,32 @@ def simulate_spmv(
     """
     machine = machine or clovertown_8core()
     cost_model = cost_model or default_cost_model()
-    cores = place_threads(machine, threads, placement)
-    _, works = analyze_threads(matrix, threads)
-    total_shared = {
-        "x": matrix.ncols * VALUE_SIZE,
-    }
-    # vals_unique is the same physical array for every thread.
-    for w in works:
-        if "vals_unique" in w.shared_bytes:
-            total_shared["vals_unique"] = w.shared_bytes["vals_unique"]
-            break
-    return solve_makespan(
-        works, cores, machine, cost_model, total_shared=total_shared
-    )
+    with telemetry.span(
+        "sim.spmv", format=matrix.name, threads=threads, placement=placement
+    ):
+        cores = place_threads(machine, threads, placement)
+        _, works = analyze_threads(matrix, threads)
+        total_shared = {
+            "x": matrix.ncols * VALUE_SIZE,
+        }
+        # vals_unique is the same physical array for every thread.
+        for w in works:
+            if "vals_unique" in w.shared_bytes:
+                total_shared["vals_unique"] = w.shared_bytes["vals_unique"]
+                break
+        result = solve_makespan(
+            works, cores, machine, cost_model, total_shared=total_shared
+        )
+    if telemetry.enabled():
+        record_sim_result(
+            format_name=matrix.name,
+            threads=threads,
+            placement=placement,
+            bound=result.bound,
+            dram_bytes=result.total_traffic,
+            resident_fraction=result.resident_fraction,
+        )
+    return result
 
 
 def spmv_mflops(result: SimResult) -> float:

@@ -26,6 +26,7 @@ from repro.formats.base import SparseMatrix
 from repro.formats.conversions import convert, to_csr
 from repro.formats.csr import CSRMatrix
 from repro.parallel.partition import RowPartition, row_partition
+from repro.telemetry import core as telemetry
 
 
 def reduce_partial_results(partials: Sequence[np.ndarray]) -> np.ndarray:
@@ -84,15 +85,17 @@ class ParallelSpMV:
         y = out if out is not None else np.empty(self.nrows, dtype=np.float64)
 
         def work(t: int) -> None:
-            lo, hi = self.partition.rows_of(t)
-            y[lo:hi] = self.chunks[t].spmv(x)
+            with telemetry.span("parallel.worker", thread=t):
+                lo, hi = self.partition.rows_of(t)
+                y[lo:hi] = self.chunks[t].spmv(x)
 
-        if self._pool is None:
-            work(0)
-        else:
-            # Submitting all and collecting results propagates worker
-            # exceptions instead of deadlocking on them.
-            list(self._pool.map(work, range(self.nthreads)))
+        with telemetry.span("parallel.spmv", threads=self.nthreads):
+            if self._pool is None:
+                work(0)
+            else:
+                # Submitting all and collecting results propagates worker
+                # exceptions instead of deadlocking on them.
+                list(self._pool.map(work, range(self.nthreads)))
         return y
 
     def close(self) -> None:

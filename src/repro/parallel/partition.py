@@ -25,6 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import PartitionError
+from repro.telemetry import core as telemetry
+from repro.telemetry.metrics import record_partition
 
 
 def balance_by_nnz(ptr: np.ndarray, nparts: int) -> np.ndarray:
@@ -125,6 +127,8 @@ def row_partition(row_ptr: np.ndarray, nthreads: int) -> RowPartition:
     bounds = balance_by_nnz(row_ptr, nthreads)
     ptr = np.asarray(row_ptr, dtype=np.int64)
     nnz_per = ptr[bounds[1:]] - ptr[bounds[:-1]]
+    if telemetry.enabled():
+        record_partition(bounds.tolist(), nnz_per.tolist(), kind="row")
     return RowPartition(boundaries=bounds, nnz_per_thread=nnz_per)
 
 
@@ -133,6 +137,8 @@ def column_partition(col_ptr: np.ndarray, nthreads: int) -> ColumnPartition:
     bounds = balance_by_nnz(col_ptr, nthreads)
     ptr = np.asarray(col_ptr, dtype=np.int64)
     nnz_per = ptr[bounds[1:]] - ptr[bounds[:-1]]
+    if telemetry.enabled():
+        record_partition(bounds.tolist(), nnz_per.tolist(), kind="column")
     return ColumnPartition(boundaries=bounds, nnz_per_thread=nnz_per)
 
 

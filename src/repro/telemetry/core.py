@@ -1,0 +1,353 @@
+"""Telemetry core: a thread-safe event collector with nested spans.
+
+The collector records three kinds of events into one ordered stream:
+
+* **spans** -- wall-clock intervals with a name, per-thread nesting
+  depth, and free-form attributes (context manager or decorator);
+* **counters** -- monotonically accumulated values, keyed by name plus
+  optional labels (``count("encode.csr_du.units", 12, width="u8")``);
+* **gauges** -- last-value-wins observations (e.g. a ttu ratio).
+
+Telemetry is *disabled by default*: the module-level ``_collector`` is
+``None`` and every entry point (:func:`span`, :func:`count`,
+:func:`gauge`) checks that single attribute before doing anything else,
+so instrumented hot paths pay one attribute load plus one ``is None``
+test when tracing is off.  :func:`configure` installs a fresh
+:class:`Collector`; :func:`set_collector` swaps an explicit one in and
+returns the previous (for scoped enabling in tests and the CLI).
+
+Timestamps are microseconds since the collector's creation
+(``time.perf_counter_ns`` based), which is exactly what the Chrome
+trace-event export in :mod:`repro.telemetry.export` wants.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "Event",
+    "Collector",
+    "NULL_SPAN",
+    "configure",
+    "get_collector",
+    "set_collector",
+    "enabled",
+    "span",
+    "count",
+    "gauge",
+    "traced",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded telemetry event.
+
+    Attributes
+    ----------
+    kind:
+        ``"span"``, ``"counter"`` or ``"gauge"``.
+    name:
+        Dotted event name (``"sim.spmv"``, ``"partition.nnz"``).
+    ts_us:
+        Start time in microseconds since the collector epoch (for
+        spans the *start* of the interval, else the emission time).
+    dur_us:
+        Span duration in microseconds; 0.0 for counters/gauges.
+    value:
+        Counter increment or gauge value; 0.0 for spans.
+    thread:
+        Name of the emitting thread.
+    tid:
+        Python thread ident of the emitting thread.
+    depth:
+        Span nesting depth *in the emitting thread* (0 = top level);
+        counters/gauges inherit the depth of the enclosing span.
+    attrs:
+        Free-form scalar attributes (labels for counters/gauges).
+    """
+
+    kind: str
+    name: str
+    ts_us: float
+    dur_us: float
+    value: float
+    thread: str
+    tid: int
+    depth: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class _NullSpan:
+    """Reusable no-op span, returned whenever telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def add(self, **attrs) -> "_NullSpan":
+        return self
+
+
+#: The singleton no-op span (one shared instance, zero allocation).
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; created by :meth:`Collector.span`."""
+
+    __slots__ = ("_collector", "name", "attrs", "_start_ns", "_depth")
+
+    def __init__(self, collector: "Collector", name: str, attrs: dict[str, Any]):
+        self._collector = collector
+        self.name = name
+        self.attrs = attrs
+        self._start_ns = 0
+        self._depth = 0
+
+    def add(self, **attrs) -> "_Span":
+        """Attach attributes after entry (e.g. results computed inside)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        self._depth = self._collector._enter_span()
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end_ns = time.perf_counter_ns()
+        self._collector._exit_span(self, end_ns)
+        return False
+
+
+class Collector:
+    """Thread-safe telemetry sink.
+
+    All mutation happens under one lock; per-thread nesting depth lives
+    in a ``threading.local`` so concurrently open spans in different
+    threads do not interfere.  Aggregates (``counters``, ``gauges``)
+    are maintained alongside the raw event stream so a summary needs no
+    replay.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._epoch_ns = time.perf_counter_ns()
+        self._events: list[Event] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+
+    # -- internal helpers --------------------------------------------------
+    def _us(self, t_ns: int) -> float:
+        return (t_ns - self._epoch_ns) / 1e3
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    def _enter_span(self) -> int:
+        depth = self._depth()
+        self._local.depth = depth + 1
+        return depth
+
+    def _exit_span(self, sp: _Span, end_ns: int) -> None:
+        self._local.depth = max(0, self._depth() - 1)
+        t = threading.current_thread()
+        ev = Event(
+            kind="span",
+            name=sp.name,
+            ts_us=self._us(sp._start_ns),
+            dur_us=(end_ns - sp._start_ns) / 1e3,
+            value=0.0,
+            thread=t.name,
+            tid=t.ident or 0,
+            depth=sp._depth,
+            attrs=sp.attrs,
+        )
+        with self._lock:
+            self._events.append(ev)
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, Any]) -> str:
+        if not labels:
+            return name
+        inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+        return f"{name}{{{inner}}}"
+
+    # -- recording API -----------------------------------------------------
+    def span(self, name: str, **attrs) -> _Span:
+        """A context-manager span; enter starts the clock, exit records."""
+        return _Span(self, name, attrs)
+
+    def count(
+        self,
+        name: str,
+        value: float = 1.0,
+        extra: dict[str, Any] | None = None,
+        **labels,
+    ) -> None:
+        """Accumulate *value* onto the counter ``name`` + *labels*.
+
+        *labels* key the aggregate; *extra* attributes ride along on
+        the event only (e.g. per-call detail like row bounds) without
+        splitting the counter into per-call keys.
+        """
+        t = threading.current_thread()
+        ev = Event(
+            kind="counter",
+            name=name,
+            ts_us=self._us(time.perf_counter_ns()),
+            dur_us=0.0,
+            value=float(value),
+            thread=t.name,
+            tid=t.ident or 0,
+            depth=self._depth(),
+            attrs={**labels, **extra} if extra else labels,
+        )
+        key = self._key(name, labels)
+        with self._lock:
+            self._events.append(ev)
+            self.counters[key] = self.counters.get(key, 0.0) + float(value)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Record the current *value* of ``name`` (last write wins)."""
+        t = threading.current_thread()
+        ev = Event(
+            kind="gauge",
+            name=name,
+            ts_us=self._us(time.perf_counter_ns()),
+            dur_us=0.0,
+            value=float(value),
+            thread=t.name,
+            tid=t.ident or 0,
+            depth=self._depth(),
+            attrs=labels,
+        )
+        key = self._key(name, labels)
+        with self._lock:
+            self._events.append(ev)
+            self.gauges[key] = float(value)
+
+    # -- inspection --------------------------------------------------------
+    def snapshot(self) -> list[Event]:
+        """A point-in-time copy of the event stream (safe to iterate)."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        """Drop all recorded events and aggregates (keep the epoch)."""
+        with self._lock:
+            self._events.clear()
+            self.counters.clear()
+            self.gauges.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+# ---------------------------------------------------------------------------
+# Module-level surface: one attribute check when disabled.
+# ---------------------------------------------------------------------------
+
+_collector: Collector | None = None
+
+
+def configure(enabled: bool = True) -> Collector | None:
+    """Install a fresh :class:`Collector` (or disable telemetry).
+
+    Returns the new collector (``None`` when disabling).
+    """
+    global _collector
+    _collector = Collector() if enabled else None
+    return _collector
+
+
+def get_collector() -> Collector | None:
+    """The active collector, or ``None`` when telemetry is disabled."""
+    return _collector
+
+
+def set_collector(collector: Collector | None) -> Collector | None:
+    """Swap the active collector; returns the previous one.
+
+    The swap-and-restore idiom keeps telemetry scoped::
+
+        prev = set_collector(Collector())
+        try:
+            ...
+        finally:
+            set_collector(prev)
+    """
+    global _collector
+    prev = _collector
+    _collector = collector
+    return prev
+
+
+def enabled() -> bool:
+    """True when a collector is installed."""
+    return _collector is not None
+
+
+def span(name: str, **attrs):
+    """A span on the active collector, or the shared no-op span."""
+    c = _collector
+    if c is None:
+        return NULL_SPAN
+    return c.span(name, **attrs)
+
+
+def count(
+    name: str,
+    value: float = 1.0,
+    extra: dict[str, Any] | None = None,
+    **labels,
+) -> None:
+    """Accumulate a counter on the active collector (no-op if disabled)."""
+    c = _collector
+    if c is not None:
+        c.count(name, value, extra, **labels)
+
+
+def gauge(name: str, value: float, **labels) -> None:
+    """Record a gauge on the active collector (no-op if disabled)."""
+    c = _collector
+    if c is not None:
+        c.gauge(name, value, **labels)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator wrapping a function call in a span.
+
+    The collector is looked up *at call time*, so decorating a function
+    costs nothing while telemetry stays disabled::
+
+        @traced("encode.csr_du.unitize")
+        def unitize(...): ...
+    """
+
+    def decorate(func: Callable) -> Callable:
+        span_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            c = _collector
+            if c is None:
+                return func(*args, **kwargs)
+            with c.span(span_name):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,225 @@
+"""Trace export: JSONL event stream, Chrome trace-event JSON, summaries.
+
+Three consumers of a :class:`~repro.telemetry.core.Collector`:
+
+* :func:`write_jsonl` / :func:`read_jsonl` -- one JSON object per line,
+  schema-checked by :func:`validate_event` (this is the ``--trace``
+  format and what downstream analysis should parse);
+* :func:`write_chrome_trace` -- the Chrome trace-event JSON array
+  (open in ``chrome://tracing`` or https://ui.perfetto.dev): spans
+  become complete (``"ph": "X"``) events, counters become ``"ph": "C"``
+  counter tracks;
+* :func:`summary` -- a plain-text report of the top spans by total
+  time plus all counters and gauges (the ``profile`` subcommand).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any, Iterable
+
+from repro.errors import TelemetryError
+from repro.telemetry.core import Collector, Event
+
+#: JSONL event fields and the types each must carry.
+EVENT_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "kind": str,
+    "name": str,
+    "ts_us": (int, float),
+    "dur_us": (int, float),
+    "value": (int, float),
+    "thread": str,
+    "tid": int,
+    "depth": int,
+    "attrs": dict,
+}
+
+EVENT_KINDS = ("span", "counter", "gauge")
+
+
+def validate_event(event: dict[str, Any]) -> None:
+    """Check one decoded JSONL record against the event schema.
+
+    Raises :class:`~repro.errors.TelemetryError` naming the offending
+    field; silence means the event conforms.
+    """
+    if not isinstance(event, dict):
+        raise TelemetryError(f"event must be an object, got {type(event).__name__}")
+    for name, types in EVENT_FIELDS.items():
+        if name not in event:
+            raise TelemetryError(f"event missing field {name!r}: {event!r}")
+        if not isinstance(event[name], types) or isinstance(event[name], bool):
+            raise TelemetryError(
+                f"event field {name!r} has type {type(event[name]).__name__}"
+            )
+    extra = set(event) - set(EVENT_FIELDS)
+    if extra:
+        raise TelemetryError(f"event has unknown fields {sorted(extra)}")
+    if event["kind"] not in EVENT_KINDS:
+        raise TelemetryError(f"unknown event kind {event['kind']!r}")
+    if not event["name"]:
+        raise TelemetryError("event name is empty")
+    if event["dur_us"] < 0:
+        raise TelemetryError(f"negative span duration {event['dur_us']}")
+    if event["depth"] < 0:
+        raise TelemetryError(f"negative depth {event['depth']}")
+    for key in event["attrs"]:
+        if not isinstance(key, str):
+            raise TelemetryError(f"attribute key {key!r} is not a string")
+
+
+def events_as_dicts(collector: Collector) -> list[dict[str, Any]]:
+    """The collector's event stream as schema-conforming dicts."""
+    return [asdict(ev) for ev in collector.snapshot()]
+
+
+def write_jsonl(collector: Collector, path: str) -> int:
+    """Write one JSON object per event; returns the event count."""
+    events = events_as_dicts(collector)
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev, sort_keys=True, default=_jsonable))
+            fh.write("\n")
+    return len(events)
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL trace back into event dicts (no validation)."""
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(f"{path}:{lineno}: not JSON: {exc}") from exc
+    return events
+
+
+def _jsonable(obj: Any):
+    """Coerce NumPy scalars and other stragglers to plain JSON types."""
+    for cast in (int, float):
+        try:
+            return cast(obj)
+        except (TypeError, ValueError):
+            continue
+    return str(obj)
+
+
+def write_chrome_trace(collector: Collector, path: str) -> int:
+    """Write the Chrome trace-event JSON; returns the trace-event count.
+
+    Spans map to complete events on their real thread track; counter
+    events map to Chrome counter tracks so e.g. simulated DRAM bytes
+    plot as a graph over the run.
+    """
+    trace_events: list[dict[str, Any]] = []
+    for ev in collector.snapshot():
+        if ev.kind == "span":
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": ev.name,
+                    "ts": ev.ts_us,
+                    "dur": ev.dur_us,
+                    "pid": 0,
+                    "tid": ev.tid,
+                    "args": ev.attrs,
+                }
+            )
+        elif ev.kind == "counter":
+            trace_events.append(
+                {
+                    "ph": "C",
+                    "name": ev.name,
+                    "ts": ev.ts_us,
+                    "pid": 0,
+                    "tid": ev.tid,
+                    "args": {ev.name: ev.value},
+                }
+            )
+        # Gauges have no natural Chrome phase; they ride as counters too.
+        else:
+            trace_events.append(
+                {
+                    "ph": "C",
+                    "name": ev.name,
+                    "ts": ev.ts_us,
+                    "pid": 0,
+                    "tid": ev.tid,
+                    "args": {ev.name: ev.value},
+                }
+            )
+    doc = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, default=_jsonable)
+    return len(trace_events)
+
+
+def span_stats(collector: Collector) -> dict[str, dict[str, float]]:
+    """Aggregate span events by name: calls, total/mean/max duration (us)."""
+    stats: dict[str, dict[str, float]] = {}
+    for ev in collector.snapshot():
+        if ev.kind != "span":
+            continue
+        s = stats.setdefault(ev.name, {"calls": 0, "total_us": 0.0, "max_us": 0.0})
+        s["calls"] += 1
+        s["total_us"] += ev.dur_us
+        s["max_us"] = max(s["max_us"], ev.dur_us)
+    for s in stats.values():
+        s["mean_us"] = s["total_us"] / s["calls"] if s["calls"] else 0.0
+    return stats
+
+
+def summary(collector: Collector, *, top: int = 20) -> str:
+    """Plain-text report: top spans by total time, counters, gauges."""
+    lines: list[str] = []
+    stats = span_stats(collector)
+    lines.append(f"--- telemetry summary ({len(collector)} events) ---")
+    lines.append("")
+    lines.append(f"top spans (by total time, showing {min(top, len(stats))})")
+    lines.append(
+        f"  {'span':<28} {'calls':>7} {'total ms':>10} {'mean ms':>10} {'max ms':>10}"
+    )
+    ordered = sorted(stats.items(), key=lambda kv: kv[1]["total_us"], reverse=True)
+    for name, s in ordered[:top]:
+        lines.append(
+            f"  {name:<28} {int(s['calls']):>7} {s['total_us'] / 1e3:>10.3f} "
+            f"{s['mean_us'] / 1e3:>10.3f} {s['max_us'] / 1e3:>10.3f}"
+        )
+    if collector.counters:
+        lines.append("")
+        lines.append("counters")
+        for key in sorted(collector.counters):
+            lines.append(f"  {key:<48} {collector.counters[key]:>14g}")
+    if collector.gauges:
+        lines.append("")
+        lines.append("gauges")
+        for key in sorted(collector.gauges):
+            lines.append(f"  {key:<48} {collector.gauges[key]:>14g}")
+    return "\n".join(lines)
+
+
+def export_all(
+    collector: Collector,
+    *,
+    jsonl_path: str | None = None,
+    chrome_path: str | None = None,
+) -> dict[str, int]:
+    """Write every requested artifact; returns per-artifact event counts."""
+    written: dict[str, int] = {}
+    if jsonl_path:
+        written["jsonl"] = write_jsonl(collector, jsonl_path)
+    if chrome_path:
+        written["chrome"] = write_chrome_trace(collector, chrome_path)
+    return written
+
+
+def iter_validated(events: Iterable[dict[str, Any]]) -> Iterable[dict[str, Any]]:
+    """Yield events, validating each (for streaming consumers)."""
+    for ev in events:
+        validate_event(ev)
+        yield ev

@@ -1,0 +1,172 @@
+"""Domain metrics: the event vocabulary of the SpMV reproduction.
+
+Every instrumented subsystem funnels through one helper here, so the
+set of event names below *is* the schema (the smoke checker in
+``tools/smoke_trace.py`` validates traces against it).  Helpers take
+plain scalars/sequences -- never format or partition objects -- so this
+module imports nothing from the rest of the library and can be called
+from any layer without cycles.
+
+Event vocabulary
+----------------
+
+=============================  =======  ==============================================
+name                           kind     meaning / labels
+=============================  =======  ==============================================
+``convert``                    span     format conversion; ``target``, ``nrows``,
+                                        ``ncols``
+``encode.csr_du.unitize``      span     CSR-DU delta/unit splitting; ``policy``
+``encode.csr_du.units``        counter  units emitted; ``width`` in u8/u16/u32/u64
+``encode.csr_du.seq_units``    counter  sequential (constant-stride) units
+``encode.csr_du.new_rows``     counter  new-row markers (NR flags) emitted
+``encode.csr_du.ctl_bytes``    counter  serialized ctl stream bytes
+``encode.csr_vi.unique``       span     CSR-VI unique-value indexing
+``encode.csr_vi.unique_vals``  gauge    unique-table size of the last encode
+``encode.csr_vi.val_ind_bits`` gauge    val_ind width (bits) of the last encode
+``encode.csr_vi.ttu``          gauge    total-to-unique ratio of the last encode
+``partition.nnz``              counter  nonzeros assigned; ``thread``, ``lo``,
+                                        ``hi`` (row/col-block bounds), ``kind``
+``partition.imbalance``        gauge    max/mean nnz per thread of the last split
+``parallel.spmv``              span     one multithreaded SpMV call; ``threads``
+``parallel.worker``            span     one worker's slice; ``thread``
+``sim.spmv``                   span     machine-model prediction; ``format``,
+                                        ``threads``, ``placement``
+``sim.bound``                  counter  binding constraint tally; ``bound``
+``sim.dram_bytes``             counter  simulated DRAM bytes read per iteration
+``sim.resident_fraction``      gauge    cache-resident working-set fraction
+``bench.matrix``               span     all formats of one matrix; ``matrix_id``
+``bench.cell``                 span     one (matrix, format) cell; ``matrix_id``,
+                                        ``format``
+``bench.measure``              span     real-clock measurement of one cell
+=============================  =======  ==============================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.telemetry import core
+
+#: Width-class label per CSR-DU delta class (index = class 0..3).
+WIDTH_LABELS = ("u8", "u16", "u32", "u64")
+
+#: Every event name a conforming trace may contain.
+KNOWN_EVENTS = frozenset(
+    {
+        "convert",
+        "encode.csr_du.unitize",
+        "encode.csr_du.units",
+        "encode.csr_du.seq_units",
+        "encode.csr_du.new_rows",
+        "encode.csr_du.ctl_bytes",
+        "encode.csr_vi.unique",
+        "encode.csr_vi.unique_vals",
+        "encode.csr_vi.val_ind_bits",
+        "encode.csr_vi.ttu",
+        "partition.nnz",
+        "partition.imbalance",
+        "parallel.spmv",
+        "parallel.worker",
+        "sim.spmv",
+        "sim.bound",
+        "sim.dram_bytes",
+        "sim.resident_fraction",
+        "bench.matrix",
+        "bench.cell",
+        "bench.measure",
+    }
+)
+
+
+def record_ctl_stream(
+    class_counts: Sequence[int],
+    *,
+    new_rows: int,
+    seq_units: int,
+    ctl_bytes: int,
+) -> None:
+    """CSR-DU serialization census (one call per finished ctl stream).
+
+    ``class_counts`` is the per-width-class unit tally the
+    :class:`~repro.compress.ctl.CtlWriter` keeps -- together these are
+    the paper's Table I statistics, now observable per encode.
+    """
+    c = core.get_collector()
+    if c is None:
+        return
+    for cls, n in enumerate(class_counts):
+        if n:
+            c.count("encode.csr_du.units", n, width=WIDTH_LABELS[cls])
+    if seq_units:
+        c.count("encode.csr_du.seq_units", seq_units)
+    c.count("encode.csr_du.new_rows", new_rows)
+    c.count("encode.csr_du.ctl_bytes", ctl_bytes)
+
+
+def record_unique_values(
+    *, unique_count: int, val_ind_bits: int, ttu: float, nnz: int
+) -> None:
+    """CSR-VI value-compression outcome (one call per encode)."""
+    c = core.get_collector()
+    if c is None:
+        return
+    c.gauge("encode.csr_vi.unique_vals", unique_count, nnz=nnz)
+    c.gauge("encode.csr_vi.val_ind_bits", val_ind_bits)
+    c.gauge("encode.csr_vi.ttu", ttu)
+
+
+def record_partition(
+    boundaries: Sequence[int],
+    nnz_per_thread: Sequence[int],
+    *,
+    kind: str = "row",
+) -> None:
+    """Per-thread nnz balance and block bounds of one partitioning.
+
+    Emits one ``partition.nnz`` counter event per thread (the event's
+    ``lo``/``hi`` attributes carry the thread's row/column-block
+    bounds) plus the split's imbalance gauge.
+    """
+    c = core.get_collector()
+    if c is None:
+        return
+    total = 0.0
+    peak = 0.0
+    n = len(nnz_per_thread)
+    for t in range(n):
+        nnz = float(nnz_per_thread[t])
+        c.count(
+            "partition.nnz",
+            nnz,
+            extra={"lo": int(boundaries[t]), "hi": int(boundaries[t + 1])},
+            thread=t,
+            kind=kind,
+        )
+        total += nnz
+        peak = max(peak, nnz)
+    mean = total / n if n else 0.0
+    c.gauge("partition.imbalance", peak / mean if mean else 1.0, kind=kind)
+
+
+def record_sim_result(
+    *,
+    format_name: str,
+    threads: int,
+    placement: str,
+    bound: str,
+    dram_bytes: float,
+    resident_fraction: float,
+) -> None:
+    """Machine-model verdict for one simulated configuration."""
+    c = core.get_collector()
+    if c is None:
+        return
+    c.count("sim.bound", 1, bound=bound)
+    c.count(
+        "sim.dram_bytes",
+        dram_bytes,
+        format=format_name,
+        threads=threads,
+        placement=placement,
+    )
+    c.gauge("sim.resident_fraction", resident_fraction, format=format_name)

@@ -12,8 +12,11 @@ on this container's hardware.
 
 from __future__ import annotations
 
+import statistics
 import time
 from dataclasses import dataclass, field
+
+from repro.errors import ReproError
 
 
 class Timer:
@@ -38,7 +41,10 @@ class Timer:
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None, "Timer exited without entering"
+        if self._start is None:
+            raise ReproError(
+                "Timer exited without entering (mismatched __enter__/__exit__)"
+            )
         self.elapsed += (time.perf_counter_ns() - self._start) * 1e-9
         self._start = None
 
@@ -59,6 +65,10 @@ class Measurement:
         Repetitions performed.
     all_repeats:
         Per-repetition total seconds, best first not guaranteed.
+    stdev:
+        Population standard deviation of the per-call time across
+        repetitions (0.0 with a single repetition).  A large value
+        relative to ``per_call`` flags a noisy real-clock run.
     """
 
     per_call: float
@@ -66,6 +76,7 @@ class Measurement:
     calls: int
     repeats: int
     all_repeats: tuple[float, ...] = field(default_factory=tuple)
+    stdev: float = 0.0
 
 
 def measure(func, *, calls: int = 128, repeats: int = 3) -> Measurement:
@@ -83,10 +94,12 @@ def measure(func, *, calls: int = 128, repeats: int = 3) -> Measurement:
             func()
         totals.append((time.perf_counter_ns() - start) * 1e-9)
     best = min(totals)
+    per_call_times = [t / calls for t in totals]
     return Measurement(
         per_call=best / calls,
         total=best,
         calls=calls,
         repeats=repeats,
         all_repeats=tuple(totals),
+        stdev=statistics.pstdev(per_call_times) if repeats > 1 else 0.0,
     )

@@ -43,3 +43,53 @@ class TestCLI:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["tableX", "--scale", "0.015625"])
+
+
+class TestTelemetryCLI:
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        from repro import telemetry
+        from repro.telemetry.export import read_jsonl, validate_event
+
+        trace = tmp_path / "t.jsonl"
+        rc = main(
+            ["table2", "--scale", "0.015625", "--limit", "2", "--trace", str(trace)]
+        )
+        assert rc == 0
+        assert "[telemetry] wrote" in capsys.readouterr().out
+        events = read_jsonl(str(trace))
+        assert events
+        for ev in events:
+            validate_event(ev)
+        # The CLI scopes its collector: disabled again afterwards.
+        assert telemetry.get_collector() is None
+
+    def test_chrome_trace_writes_json(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        rc = main(
+            [
+                "table2",
+                "--scale",
+                "0.015625",
+                "--limit",
+                "1",
+                "--chrome-trace",
+                str(trace),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+
+    def test_profile_prints_summary(self, capsys):
+        rc = main(["profile", "table2", "--scale", "0.015625", "--limit", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "top spans" in out
+        assert "bench.matrix" in out
+
+    def test_profile_without_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])

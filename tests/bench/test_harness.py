@@ -82,6 +82,33 @@ class TestRunSet:
     def test_speedup_threads_constant(self):
         assert SPEEDUP_THREADS == (1, 2, 4, 8)
 
+    def test_csr_baseline_converted_once_per_matrix(self, config, monkeypatch):
+        """run_set computes the CSR baseline once and passes it down."""
+        import repro.bench.harness as harness_mod
+
+        real_convert = harness_mod.convert
+        csr_targets = []
+
+        def counting_convert(matrix, name, **kwargs):
+            if name == "csr":
+                csr_targets.append(name)
+            return real_convert(matrix, name, **kwargs)
+
+        monkeypatch.setattr(harness_mod, "convert", counting_convert)
+        out = run_set((47,), ("csr", "csr-du", "csr-vi"), config)
+        # One baseline in run_set plus the "csr" cell's own conversion;
+        # the old code re-derived the baseline inside every cell.
+        assert csr_targets.count("csr") == 2
+        assert out[47]["csr-du"].csr_storage == out[47]["csr"].storage
+
+    def test_explicit_csr_storage_is_used(self, matrix, config):
+        baseline = run_format_matrix(matrix, "csr", config).storage
+        res = run_format_matrix(
+            matrix, "csr-du", config, csr_storage=baseline
+        )
+        assert res.csr_storage == baseline
+        assert res.size_reduction > 0.0
+
 
 class TestAggregation:
     def test_aggregate(self):

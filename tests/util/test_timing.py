@@ -1,7 +1,10 @@
 """Tests for the wall-clock measurement helpers."""
 
+import statistics
+
 import pytest
 
+from repro.errors import ReproError
 from repro.util.timing import Measurement, Timer, measure
 
 
@@ -20,6 +23,18 @@ class TestTimer:
         with t:
             pass
         assert t.elapsed >= 0.0
+
+    def test_exit_without_enter_raises_repro_error(self):
+        t = Timer()
+        with pytest.raises(ReproError, match="without entering"):
+            t.__exit__(None, None, None)
+
+    def test_double_exit_raises(self):
+        t = Timer()
+        with t:
+            pass
+        with pytest.raises(ReproError):
+            t.__exit__(None, None, None)
 
 
 class TestMeasure:
@@ -46,3 +61,16 @@ class TestMeasure:
         m = Measurement(per_call=1.0, total=4.0, calls=4, repeats=1)
         with pytest.raises(AttributeError):
             m.per_call = 2.0
+
+    def test_stdev_defaults_to_zero(self):
+        m = Measurement(per_call=1.0, total=4.0, calls=4, repeats=1)
+        assert m.stdev == 0.0
+
+    def test_stdev_matches_per_call_spread(self):
+        m = measure(lambda: sum(range(200)), calls=3, repeats=4)
+        expected = statistics.pstdev(t / m.calls for t in m.all_repeats)
+        assert m.stdev == pytest.approx(expected)
+
+    def test_stdev_zero_for_single_repeat(self):
+        m = measure(lambda: None, calls=2, repeats=1)
+        assert m.stdev == 0.0

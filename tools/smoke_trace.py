@@ -1,0 +1,124 @@
+"""Telemetry smoke check: run a tiny traced benchmark, validate the trace.
+
+Runs ``python -m repro.bench table2`` at a reduced scale with ``--trace``
+and checks that
+
+* every emitted JSONL event conforms to the schema
+  (:func:`repro.telemetry.export.validate_event`),
+* every event name belongs to the documented vocabulary
+  (:data:`repro.telemetry.metrics.KNOWN_EVENTS`), and
+* the trace contains the load-bearing signals: per-matrix spans,
+  CSR-DU unit-width histograms, and per-thread nnz counters.
+
+Exit status 0 means the instrumentation pipeline is healthy; the pytest
+suite runs :func:`run` directly so regressions fail tier-1.
+
+Run:  PYTHONPATH=src python tools/smoke_trace.py [--scale 0.03125] [--limit 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+from repro.bench.cli import main as bench_main
+from repro.errors import TelemetryError
+from repro.telemetry.export import read_jsonl, validate_event
+from repro.telemetry.metrics import KNOWN_EVENTS
+
+#: Event names a traced table2 run must contain to be considered healthy.
+REQUIRED_EVENTS = frozenset(
+    {
+        "bench.matrix",
+        "bench.cell",
+        "convert",
+        "encode.csr_du.units",
+        "partition.nnz",
+        "sim.spmv",
+        "sim.bound",
+    }
+)
+
+
+def run(
+    *,
+    scale: float = 0.03125,
+    limit: int = 2,
+    path: str | None = None,
+    experiment: str = "table2",
+) -> int:
+    """Run one traced experiment and validate the trace; 0 on success."""
+    owned = path is None
+    if owned:
+        fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="smoke_trace_")
+        os.close(fd)
+    try:
+        rc = bench_main(
+            [
+                experiment,
+                "--scale",
+                str(scale),
+                "--limit",
+                str(limit),
+                "--trace",
+                path,
+            ]
+        )
+        if rc != 0:
+            print(f"smoke_trace: bench exited with {rc}", file=sys.stderr)
+            return rc
+        events = read_jsonl(path)
+        if not events:
+            print("smoke_trace: trace is empty", file=sys.stderr)
+            return 1
+        names: set[str] = set()
+        for i, event in enumerate(events):
+            try:
+                validate_event(event)
+            except TelemetryError as exc:
+                print(f"smoke_trace: event {i} invalid: {exc}", file=sys.stderr)
+                return 1
+            names.add(event["name"])
+        unknown = names - KNOWN_EVENTS
+        if unknown:
+            print(
+                f"smoke_trace: undocumented event names {sorted(unknown)} "
+                "(extend repro.telemetry.metrics.KNOWN_EVENTS)",
+                file=sys.stderr,
+            )
+            return 1
+        missing = REQUIRED_EVENTS - names
+        if missing:
+            print(
+                f"smoke_trace: required events missing {sorted(missing)}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"smoke_trace: {len(events)} events, all valid")
+        return 0
+    finally:
+        if owned and path is not None and os.path.exists(path):
+            os.unlink(path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.03125)
+    parser.add_argument("--limit", type=int, default=2)
+    parser.add_argument("--experiment", type=str, default="table2")
+    parser.add_argument(
+        "--trace", type=str, default=None, help="keep the trace at this path"
+    )
+    args = parser.parse_args(argv)
+    return run(
+        scale=args.scale,
+        limit=args.limit,
+        path=args.trace,
+        experiment=args.experiment,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())
