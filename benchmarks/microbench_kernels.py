@@ -1,0 +1,116 @@
+"""Unitwise vs width-class-batched CSR-DU kernel microbenchmark.
+
+Times :func:`repro.kernels.vectorized.spmv_csr_du_unitwise` (the
+O(#units) Python decode loop) against
+:func:`repro.kernels.batched.spmv_csr_du_batched` (the plan-cached
+O(#width-classes) decode) on synthetic matrices, checks the two results
+are *bit-identical*, and records MFLOPS plus the speedup in
+``BENCH_kernels.json``.
+
+This is a plain script, deliberately named so pytest does not collect
+it (the suite collects ``test_*.py`` / ``bench_*.py`` only): one run
+takes tens of seconds because the unitwise kernel really is that slow
+on a million-nonzero matrix -- which is the point being measured.
+
+Run:  PYTHONPATH=src python benchmarks/microbench_kernels.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.csr_du import CSRDUMatrix
+from repro.kernels.batched import spmv_csr_du_batched
+from repro.kernels.plan import get_plan
+from repro.kernels.vectorized import spmv_csr_du_unitwise
+from repro.matrices.generators import banded_random, stencil_2d
+from repro.util.timing import measure
+
+#: (name, COO builder).  The first entry is the headline >= 1M-nnz case.
+CASES = (
+    ("stencil2d-512x512-5pt", lambda: stencil_2d(512, 512, points=5)),
+    ("stencil2d-160x160-9pt", lambda: stencil_2d(160, 160, points=9)),
+    ("banded-100k-bw16", lambda: banded_random(100_000, 16, 8, seed=3)),
+)
+
+
+def bench_case(name: str, build, policy: str = "greedy") -> dict:
+    coo = build()
+    csr = CSRMatrix.from_coo(coo)
+    du = CSRDUMatrix.from_csr(csr, policy=policy)
+    rng = np.random.default_rng(0)
+    x = rng.random(du.ncols)
+
+    get_plan(du)  # build outside the timed region, as an iterative caller would
+    y_batched = spmv_csr_du_batched(du, x)
+    y_unitwise = spmv_csr_du_unitwise(du, x)
+    bit_identical = bool(np.array_equal(y_unitwise, y_batched))
+
+    # The unitwise kernel is interpreter-bound (hundreds of ms per call
+    # at 1M nnz), so few calls suffice; the batched kernel gets more.
+    m_unit = measure(lambda: spmv_csr_du_unitwise(du, x), calls=3, repeats=2)
+    m_batched = measure(lambda: spmv_csr_du_batched(du, x), calls=20, repeats=3)
+    flop = 2 * du.nnz
+    result = {
+        "name": name,
+        "policy": policy,
+        "nrows": du.nrows,
+        "ncols": du.ncols,
+        "nnz": du.nnz,
+        "nunits": int(get_plan(du).table.nunits),
+        "mean_unit_size": du.mean_unit_size(),
+        "unitwise_s": m_unit.per_call,
+        "batched_s": m_batched.per_call,
+        "unitwise_mflops": flop / m_unit.per_call / 1e6,
+        "batched_mflops": flop / m_batched.per_call / 1e6,
+        "speedup": m_unit.per_call / m_batched.per_call,
+        "bit_identical": bit_identical,
+    }
+    print(
+        f"{name:<24} nnz={du.nnz:>9} "
+        f"unitwise={result['unitwise_mflops']:8.2f} MFLOPS  "
+        f"batched={result['batched_mflops']:8.2f} MFLOPS  "
+        f"speedup={result['speedup']:6.1f}x  "
+        f"bit-identical={bit_identical}"
+    )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=str, default="BENCH_kernels.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    results = [bench_case(name, build) for name, build in CASES]
+    payload = {
+        "benchmark": "csr-du unitwise vs width-class batched SpMV",
+        "kernels": {
+            "unitwise": "repro.kernels.vectorized.spmv_csr_du_unitwise",
+            "batched": "repro.kernels.batched.spmv_csr_du_batched",
+        },
+        "note": (
+            "serial wall-clock on the development container; relative "
+            "numbers are the claim, absolute MFLOPS are host-specific"
+        ),
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    ok = all(r["bit_identical"] for r in results)
+    headline = max(results, key=lambda r: r["nnz"])
+    if headline["nnz"] >= 1_000_000 and headline["speedup"] < 5.0:
+        print("FAIL: headline speedup below 5x", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

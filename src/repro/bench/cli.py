@@ -116,6 +116,15 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="cap the number of matrices per set (deterministic subset)",
     )
+    parser.add_argument(
+        "--kernel",
+        type=str,
+        default="cached",
+        help=(
+            "kernel tier timed by the real clock (cached, batched, "
+            "vectorized, reference); the model clock ignores it"
+        ),
+    )
     parser.add_argument("--out", type=str, default=None, help="also write to a file")
     parser.add_argument(
         "--json",
@@ -146,7 +155,7 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("'profile' needs at least one experiment to run")
     if "all" in names:
         names = list(_EXPERIMENTS)
-    config = ExperimentConfig(scale=args.scale)
+    config = ExperimentConfig(scale=args.scale, kernel=args.kernel)
     trace_on = profile or args.trace or args.chrome_trace
     prev_collector = (
         telemetry.set_collector(telemetry.Collector()) if trace_on else None

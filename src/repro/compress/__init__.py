@@ -14,6 +14,11 @@ from repro.compress.ctl import (
     FLAG_RJMP,
     decode_units,
 )
+from repro.compress.unit_table import (
+    BatchedColumnDecoder,
+    UnitTable,
+    scan_units,
+)
 from repro.compress.unique import (
     UniqueValues,
     index_dtype_for,
@@ -32,6 +37,9 @@ __all__ = [
     "FLAG_NR",
     "FLAG_RJMP",
     "decode_units",
+    "BatchedColumnDecoder",
+    "UnitTable",
+    "scan_units",
     "UniqueValues",
     "index_dtype_for",
     "total_to_unique_ratio",

@@ -98,6 +98,23 @@ class SparseMatrix(abc.ABC):
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``y = A x`` with this format's default (vectorized) kernel."""
 
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``Y = A X`` for ``k`` right-hand sides (the columns of *X*).
+
+        The default loops :meth:`spmv` over the columns; the plannable
+        formats (csr, csr-vi, csr-du, csr-du-vi) override it with a
+        multi-vector kernel that decodes the structure once per call
+        and amortizes it across all right-hand sides.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != self.ncols:
+            raise FormatError(f"X has shape {X.shape}, expected ({self.ncols}, k)")
+        if out is None:
+            out = np.empty((self.nrows, X.shape[1]), dtype=np.float64)
+        for j in range(X.shape[1]):
+            self.spmv(X[:, j], out=out[:, j])
+        return out
+
     # -- generic helpers -----------------------------------------------
     def to_dense(self) -> np.ndarray:
         """Materialize as a dense array (tests / tiny matrices only)."""

@@ -19,7 +19,7 @@ import numpy as np
 from repro.errors import FormatError
 from repro.formats.base import SparseMatrix, Storage, register_format
 from repro.formats.coo import COOMatrix
-from repro.nputil.segops import segment_ids_from_offsets, segmented_reduce
+from repro.nputil.segops import segment_ids_from_offsets
 from repro.util.validation import (
     as_index_array,
     as_value_array,
@@ -102,16 +102,23 @@ class CSRMatrix(SparseMatrix):
                 yield row, int(self.col_ind[k]), float(self.values[k])
 
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Vectorized CSR SpMV: gather x, multiply, row-reduce."""
-        x = np.asarray(x, dtype=np.float64)
-        if x.shape != (self.ncols,):
-            raise FormatError(f"x has shape {x.shape}, expected ({self.ncols},)")
-        products = self.values * x[self.col_ind]
-        y = segmented_reduce(products, self.row_ptr.astype(np.int64))
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        """Vectorized CSR SpMV: gather x, multiply, row-reduce.
+
+        Runs through the cached kernel plan (:mod:`repro.kernels.plan`),
+        so the ``int64`` row-pointer cast and the offsets validation are
+        paid once per matrix, not per call.
+        """
+        from repro.kernels.plan import _check_x, get_plan
+
+        x = _check_x(x, self.ncols)
+        return get_plan(self).spmv(self.values, x, out=out)
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Multi-vector ``Y = A X``: one gather/reduce pass for all columns."""
+        from repro.kernels.plan import _check_xmat, get_plan
+
+        X = _check_xmat(X, self.ncols)
+        return get_plan(self).spmm(self.values, X, out=out)
 
     # -- helpers ----------------------------------------------------------
     def row_lengths(self) -> np.ndarray:

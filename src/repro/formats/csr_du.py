@@ -31,7 +31,6 @@ from repro.compress.delta import MAX_UNIT_SIZE, unitize
 from repro.errors import FormatError
 from repro.formats.base import SparseMatrix, Storage, register_format
 from repro.formats.csr import CSRMatrix
-from repro.nputil.segops import segmented_reduce
 from repro.util.validation import as_value_array
 
 
@@ -101,17 +100,24 @@ class CSRDUMatrix(SparseMatrix):
             yield i, j, v
 
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        if x.shape != (self.ncols,):
-            raise FormatError(f"x has shape {x.shape}, expected ({self.ncols},)")
-        du = self.units
-        products = self.values * x[du.columns]
-        per_unit = segmented_reduce(products, du.offsets)
-        y = out if out is not None else np.zeros(self.nrows, dtype=np.float64)
-        if out is not None:
-            y[:] = 0.0
-        np.add.at(y, du.rows, per_unit)
-        return y
+        """Width-class batched SpMV through the cached kernel plan.
+
+        The plan amortizes the unit-header parse; the column indices
+        are still re-decoded from the ctl bytes every call, and rows
+        accumulate in element order (bit-identical to the reference
+        and unitwise kernels).
+        """
+        from repro.kernels.plan import _check_x, get_plan
+
+        x = _check_x(x, self.ncols)
+        return get_plan(self).spmv(self.values, x, out=out)
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Multi-vector ``Y = A X``: one ctl decode for all columns."""
+        from repro.kernels.plan import _check_xmat, get_plan
+
+        X = _check_xmat(X, self.ncols)
+        return get_plan(self).spmm(self.values, X, out=out)
 
     # -- unit statistics ----------------------------------------------------
     def unit_class_histogram(self) -> dict[int, int]:

@@ -21,7 +21,6 @@ from repro.errors import FormatError
 from repro.formats.base import SparseMatrix, Storage, register_format
 from repro.formats.csr import CSRMatrix
 from repro.formats.csr_du import CSRDUMatrix
-from repro.nputil.segops import segmented_reduce
 from repro.util.validation import as_value_array
 
 
@@ -70,17 +69,18 @@ class CSRDUVIMatrix(SparseMatrix):
             yield i, j, v
 
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        if x.shape != (self.ncols,):
-            raise FormatError(f"x has shape {x.shape}, expected ({self.ncols},)")
-        du = self.units
-        products = self.vals_unique[self.val_ind] * x[du.columns]
-        per_unit = segmented_reduce(products, du.offsets)
-        y = out if out is not None else np.zeros(self.nrows, dtype=np.float64)
-        if out is not None:
-            y[:] = 0.0
-        np.add.at(y, du.rows, per_unit)
-        return y
+        """Batched ctl decode plus the value-index gather (plan-cached)."""
+        from repro.kernels.plan import _check_x, get_plan
+
+        x = _check_x(x, self.ncols)
+        return get_plan(self).spmv(self.vals_unique[self.val_ind], x, out=out)
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Multi-vector ``Y = A X``: one ctl decode and one value gather."""
+        from repro.kernels.plan import _check_xmat, get_plan
+
+        X = _check_xmat(X, self.ncols)
+        return get_plan(self).spmm(self.vals_unique[self.val_ind], X, out=out)
 
     @classmethod
     def from_csr(cls, csr: CSRMatrix, *, policy: str = "greedy") -> "CSRDUVIMatrix":

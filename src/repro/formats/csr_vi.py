@@ -21,7 +21,6 @@ from repro.compress.unique import TTU_THRESHOLD, UniqueValues, unique_index_valu
 from repro.errors import FormatError
 from repro.formats.base import SparseMatrix, Storage, register_format
 from repro.formats.csr import CSRMatrix
-from repro.nputil.segops import segmented_reduce
 from repro.util.validation import (
     as_index_array,
     as_value_array,
@@ -103,16 +102,23 @@ class CSRVIMatrix(SparseMatrix):
             yield row, int(self.col_ind[k]), float(values[k])
 
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Fig. 5 kernel, vectorized: one extra gather through val_ind."""
-        x = np.asarray(x, dtype=np.float64)
-        if x.shape != (self.ncols,):
-            raise FormatError(f"x has shape {x.shape}, expected ({self.ncols},)")
-        products = self.vals_unique[self.val_ind] * x[self.col_ind]
-        y = segmented_reduce(products, self.row_ptr.astype(np.int64))
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        """Fig. 5 kernel, vectorized: one extra gather through val_ind.
+
+        Plan-cached: the row-pointer cast and reducer validation are
+        built once (:mod:`repro.kernels.plan`); the value gather stays
+        per call, as in the paper's kernel.
+        """
+        from repro.kernels.plan import _check_x, get_plan
+
+        x = _check_x(x, self.ncols)
+        return get_plan(self).spmv(self.vals_unique[self.val_ind], x, out=out)
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Multi-vector ``Y = A X`` sharing one value gather per call."""
+        from repro.kernels.plan import _check_xmat, get_plan
+
+        X = _check_xmat(X, self.ncols)
+        return get_plan(self).spmm(self.vals_unique[self.val_ind], X, out=out)
 
     # -- conversions ----------------------------------------------------------
     @classmethod

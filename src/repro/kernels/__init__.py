@@ -1,5 +1,13 @@
 """SpMV kernels, in tiers, plus a registry keyed by (format, tier)."""
 
+from repro.kernels.batched import spmv_csr_du_batched, spmv_csr_du_vi_batched
+from repro.kernels.plan import (
+    CSRDUPlan,
+    CSRPlan,
+    PLANNABLE_FORMATS,
+    get_plan,
+    has_plan,
+)
 from repro.kernels.reference import (
     spmv_csr_du_reference,
     spmv_csr_reference,
@@ -23,6 +31,13 @@ __all__ = [
     "spmv_csr_du_unitwise",
     "spmv_csr_vi_vectorized",
     "spmv_csr_du_vi_vectorized",
+    "spmv_csr_du_batched",
+    "spmv_csr_du_vi_batched",
+    "CSRPlan",
+    "CSRDUPlan",
+    "PLANNABLE_FORMATS",
+    "get_plan",
+    "has_plan",
     "KernelSpec",
     "available_kernels",
     "get_kernel",

@@ -1,0 +1,33 @@
+"""Width-class batched CSR-DU kernels.
+
+These kernels decode the ctl stream through a cached
+:class:`~repro.kernels.plan.CSRDUPlan`: the O(#units) Python header
+loop of :func:`~repro.kernels.vectorized.spmv_csr_du_unitwise` is paid
+once at plan build, after which every call decodes all column indices
+with O(#width-classes) NumPy passes and reduces per row with one
+``np.add.at``.  The accumulation order is element order within each
+row, so the result is bit-identical to both the unitwise kernel and
+the paper's reference kernel -- the cross-kernel tests assert exact
+equality, not tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr_du import CSRDUMatrix
+from repro.formats.csr_du_vi import CSRDUVIMatrix
+from repro.kernels.plan import _check_x, get_plan
+
+
+def spmv_csr_du_batched(matrix: CSRDUMatrix, x: np.ndarray) -> np.ndarray:
+    """CSR-DU SpMV via the width-class batched decoder (plan-cached)."""
+    x = _check_x(x, matrix.ncols)
+    return get_plan(matrix).spmv(matrix.values, x)
+
+
+def spmv_csr_du_vi_batched(matrix: CSRDUVIMatrix, x: np.ndarray) -> np.ndarray:
+    """CSR-DU-VI SpMV: batched index decode plus the value-index gather."""
+    x = _check_x(x, matrix.ncols)
+    values = matrix.vals_unique[matrix.val_ind]
+    return get_plan(matrix).spmv(values, x)

@@ -1,0 +1,174 @@
+"""Reusable kernel plans: per-matrix decode state for the hot SpMV path.
+
+A *plan* is everything about one matrix's structure that every SpMV
+iteration would otherwise recompute -- the ``int64`` cast of CSR's
+``row_ptr``, the offsets validation behind the segmented row reduction,
+and (for CSR-DU) the variable-length unit-header parse of the ctl
+stream.  :func:`get_plan` builds the plan on first use, caches it on
+the matrix object, and hands the cached instance back on every later
+call; the batched kernels, the formats' ``spmv``/``spmm`` methods and
+:class:`~repro.parallel.executor.ParallelSpMV` all share it.
+
+Two plan families cover the four plannable formats:
+
+* :class:`CSRPlan` (csr, csr-vi) -- cached ``row_ptr`` cast plus a
+  pre-validated :class:`~repro.nputil.segops.SegmentedReducer`;
+* :class:`CSRDUPlan` (csr-du, csr-du-vi) -- a
+  :class:`~repro.compress.unit_table.BatchedColumnDecoder` over the
+  scanned unit table, plus the per-nonzero row ids the row reduction
+  scatters into.
+
+Plans hold *structure only*; numerical values are passed in per call,
+so a plan never pins a stale values array.  CSR-DU plans re-decode all
+column indices from the ctl bytes on every call (decode-on-the-fly is
+preserved -- see DESIGN.md, "Kernel plans").
+
+The CSR-DU row reduction deliberately uses ``np.add.at`` (element
+order, one scalar add per nonzero): that is bitwise identical to the
+reference kernel's sequential per-row accumulation, which is what lets
+the cross-kernel tests demand exact equality instead of tolerances.
+
+Telemetry: ``plan.build`` span on construction, ``plan.miss`` /
+``plan.hit`` counters on every lookup (labelled by format).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compress.unit_table import BatchedColumnDecoder, scan_units
+from repro.errors import FormatError
+from repro.nputil.segops import SegmentedReducer
+from repro.telemetry import core as telemetry
+
+#: Attribute under which the plan is cached on the matrix object.
+PLAN_ATTR = "_kernel_plan"
+
+#: Formats :func:`get_plan` can build a plan for.
+PLANNABLE_FORMATS = ("csr", "csr-vi", "csr-du", "csr-du-vi")
+
+
+def _check_x(x, ncols: int) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (ncols,):
+        raise FormatError(f"x has shape {x.shape}, expected ({ncols},)")
+    return x
+
+
+def _check_xmat(X, ncols: int) -> np.ndarray:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[0] != ncols:
+        raise FormatError(f"X has shape {X.shape}, expected ({ncols}, k)")
+    return X
+
+
+class CSRPlan:
+    """Plan for row-pointer formats (CSR, CSR-VI).
+
+    Caches the ``int64`` ``row_ptr`` cast (previously re-done on every
+    kernel call) and the validated segmented reducer over it.
+    """
+
+    __slots__ = ("nrows", "ncols", "nnz", "row_ptr64", "col_ind", "reducer")
+
+    def __init__(self, nrows: int, ncols: int, row_ptr, col_ind):
+        row_ptr = np.asarray(row_ptr)
+        self.row_ptr64 = (
+            row_ptr if row_ptr.dtype == np.int64 else row_ptr.astype(np.int64)
+        )
+        self.nrows = nrows
+        self.ncols = ncols
+        self.col_ind = col_ind
+        self.nnz = int(col_ind.size)
+        self.reducer = SegmentedReducer(self.row_ptr64, self.nnz)
+
+    def spmv(self, values, x, out=None):
+        products = values * x[self.col_ind]
+        return self.reducer.reduce(products, out=out)
+
+    def spmm(self, values, X, out=None):
+        products = values[:, None] * X[self.col_ind]
+        return self.reducer.reduce(products, out=out)
+
+
+class CSRDUPlan:
+    """Plan for delta-unit formats (CSR-DU, CSR-DU-VI).
+
+    Built from the ctl stream alone: one header scan, one batched
+    column decoder, and the per-nonzero row ids.  Each :meth:`spmv`
+    re-decodes the column indices from the ctl bytes (width-class
+    batched) and reduces per row in element order.
+    """
+
+    __slots__ = ("nrows", "ncols", "nnz", "table", "decoder", "elem_rows")
+
+    def __init__(self, nrows: int, ncols: int, ctl: bytes, nnz: int):
+        table = scan_units(ctl)
+        decoder = BatchedColumnDecoder(ctl, table, nnz)
+        if table.nunits and int(table.rows[-1]) >= nrows:
+            raise FormatError(
+                f"ctl stream reaches row {int(table.rows[-1])} "
+                f"but the matrix has {nrows} rows"
+            )
+        if table.nunits and int(decoder.last_cols.max()) >= ncols:
+            raise FormatError("ctl stream reaches a column beyond ncols")
+        self.nrows = nrows
+        self.ncols = ncols
+        self.nnz = nnz
+        self.table = table
+        self.decoder = decoder
+        self.elem_rows = np.repeat(table.rows, table.sizes)
+
+    def spmv(self, values, x, out=None):
+        cols = self.decoder.columns()
+        products = values * x[cols]
+        if out is None:
+            out = np.zeros(self.nrows, dtype=np.float64)
+        else:
+            out[...] = 0.0
+        # One scalar add per nonzero, in element order == the reference
+        # kernel's accumulation order, bit for bit.
+        np.add.at(out, self.elem_rows, products)
+        return out
+
+    def spmm(self, values, X, out=None):
+        cols = self.decoder.columns()
+        products = values[:, None] * X[cols]
+        if out is None:
+            out = np.empty((self.nrows, X.shape[1]), dtype=np.float64)
+        out[...] = 0.0
+        # Column-at-a-time keeps each right-hand side's accumulation
+        # order identical to spmv's; the decode above is shared.
+        for j in range(X.shape[1]):
+            np.add.at(out[:, j], self.elem_rows, products[:, j])
+        return out
+
+
+def _build_plan(matrix):
+    name = matrix.name
+    if name in ("csr", "csr-vi"):
+        return CSRPlan(matrix.nrows, matrix.ncols, matrix.row_ptr, matrix.col_ind)
+    if name in ("csr-du", "csr-du-vi"):
+        return CSRDUPlan(matrix.nrows, matrix.ncols, matrix.ctl, matrix.nnz)
+    raise FormatError(
+        f"no kernel plan for format {name!r}; plannable: {PLANNABLE_FORMATS}"
+    )
+
+
+def has_plan(matrix) -> bool:
+    """True if *matrix* already carries a cached plan."""
+    return getattr(matrix, PLAN_ATTR, None) is not None
+
+
+def get_plan(matrix):
+    """The matrix's kernel plan, building and caching it on first use."""
+    plan = getattr(matrix, PLAN_ATTR, None)
+    if plan is not None:
+        telemetry.count("plan.hit", 1, format=matrix.name)
+        return plan
+    telemetry.count("plan.miss", 1, format=matrix.name)
+    with telemetry.span("plan.build", format=matrix.name) as sp:
+        plan = _build_plan(matrix)
+        sp.add(nnz=plan.nnz)
+    setattr(matrix, PLAN_ATTR, plan)
+    return plan

@@ -5,8 +5,12 @@ Tiers:
 * ``"reference"`` -- pure Python, the paper's listings (ground truth);
 * ``"vectorized"`` -- NumPy, decode-on-the-fly where the format is
   compressed;
+* ``"batched"`` -- plan-cached kernels (:mod:`repro.kernels.plan`):
+  width-class batched ctl decode for CSR-DU/CSR-DU-VI, cached
+  row-pointer reduction for CSR/CSR-VI;
 * ``"cached"`` -- the format's own :meth:`spmv` (structural decode
-  cached across calls; the iterative-use default).
+  cached across calls; the iterative-use default -- plan-based for the
+  four plannable formats).
 
 ``get_kernel(format_name, tier)`` returns a uniform
 ``kernel(matrix, x) -> y`` callable.
@@ -20,6 +24,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import FormatError
+from repro.kernels import batched as _bat
 from repro.kernels import reference as _ref
 from repro.kernels import vectorized as _vec
 
@@ -49,6 +54,13 @@ _KERNELS: dict[tuple[str, str], Callable] = {
     ("csr-vi", "vectorized"): _vec.spmv_csr_vi_vectorized,
     ("csr-du-vi", "vectorized"): _vec.spmv_csr_du_vi_vectorized,
     ("dcsr", "reference"): _ref.spmv_dcsr_reference,
+    # Plan-cached tier.  For the row-pointer formats the vectorized
+    # kernels already run through the plan, so the tier is an alias;
+    # for the delta-unit formats it is the width-class batched decode.
+    ("csr", "batched"): _vec.spmv_csr_vectorized,
+    ("csr-vi", "batched"): _vec.spmv_csr_vi_vectorized,
+    ("csr-du", "batched"): _bat.spmv_csr_du_batched,
+    ("csr-du-vi", "batched"): _bat.spmv_csr_du_vi_batched,
 }
 
 # Every registered format supports the "cached" tier through its spmv().

@@ -4,15 +4,20 @@ These are the kernels the real-clock benchmarks time.  They perform the
 same logical work as the reference kernels but express the inner loops
 as NumPy array operations:
 
-* CSR: gather ``x[col_ind]``, multiply, segmented row reduction;
+* CSR: gather ``x[col_ind]``, multiply, segmented row reduction (the
+  ``int64`` row-pointer cast and offsets validation are cached on the
+  matrix through its kernel plan, see :mod:`repro.kernels.plan`);
 * CSR-DU *unitwise*: walk the ctl stream unit by unit, decoding each
   unit's deltas with one ``frombuffer`` + ``cumsum`` -- a true
   decode-on-the-fly kernel (nothing decoded is kept between calls);
 * CSR-VI: one extra gather through ``val_ind``.
 
-The formats' own ``spmv`` methods cache their structural decode across
-calls (matching the iterative-solver scenario the paper times, where
-decode cost amortizes); the functions here do not.
+All CSR-DU kernels -- reference, unitwise, and the batched kernels in
+:mod:`repro.kernels.batched` -- accumulate each row's products in
+element order, so their results are *bit-identical*, not merely close.
+The unitwise kernel realizes that order with a carried ``cumsum`` chain
+per unit (``cumsum`` sums strictly left to right) instead of a ``dot``,
+whose pairwise/SIMD order would diverge in the last bits.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.csr_du import CSRDUMatrix
 from repro.formats.csr_du_vi import CSRDUVIMatrix
 from repro.formats.csr_vi import CSRVIMatrix
+from repro.kernels.plan import get_plan
 from repro.nputil.segops import segmented_reduce
 from repro.util.bitops import WIDTH_BYTES, WIDTH_DTYPES, decode_varint
 
@@ -37,17 +43,15 @@ def _check_x(x: np.ndarray, ncols: int) -> np.ndarray:
 
 
 def spmv_csr_vectorized(matrix: CSRMatrix, x: np.ndarray) -> np.ndarray:
-    """Gather / multiply / row-reduce CSR kernel."""
+    """Gather / multiply / row-reduce CSR kernel (plan-cached row_ptr)."""
     x = _check_x(x, matrix.ncols)
-    products = matrix.values * x[matrix.col_ind]
-    return segmented_reduce(products, matrix.row_ptr.astype(np.int64))
+    return get_plan(matrix).spmv(matrix.values, x)
 
 
 def spmv_csr_vi_vectorized(matrix: CSRVIMatrix, x: np.ndarray) -> np.ndarray:
     """CSR-VI kernel: the Fig. 5 indirection as one extra gather."""
     x = _check_x(x, matrix.ncols)
-    products = matrix.vals_unique[matrix.val_ind] * x[matrix.col_ind]
-    return segmented_reduce(products, matrix.row_ptr.astype(np.int64))
+    return get_plan(matrix).spmv(matrix.vals_unique[matrix.val_ind], x)
 
 
 def spmv_csr_du_unitwise(matrix: CSRDUMatrix, x: np.ndarray) -> np.ndarray:
@@ -55,9 +59,10 @@ def spmv_csr_du_unitwise(matrix: CSRDUMatrix, x: np.ndarray) -> np.ndarray:
 
     Python handles the per-unit header; NumPy handles each unit body
     (``frombuffer`` of the fixed-width deltas, ``cumsum`` for absolute
-    columns, fused gather-multiply-sum).  This is the closest NumPy
-    analogue of the paper's Fig. 3 kernel -- no decoded structure
-    survives the call.
+    columns, then a carried ``cumsum`` chain seeded with the row's
+    running sum for the products).  This is the closest NumPy analogue
+    of the paper's Fig. 3 kernel -- no decoded structure survives the
+    call.
     """
     x = _check_x(x, matrix.ncols)
     ctl = matrix.ctl
@@ -68,6 +73,7 @@ def spmv_csr_du_unitwise(matrix: CSRDUMatrix, x: np.ndarray) -> np.ndarray:
     row = -1
     col = 0
     n = len(ctl)
+    chain = np.empty(257, dtype=np.float64)  # usize <= 255 products + carry
     while pos < n:
         uflags = ctl[pos]
         usize = ctl[pos + 1]
@@ -88,7 +94,6 @@ def spmv_csr_du_unitwise(matrix: CSRDUMatrix, x: np.ndarray) -> np.ndarray:
             stride, pos = decode_varint(ctl, pos)
             cols = col + stride * np.arange(usize, dtype=np.int64)
             col = int(cols[-1])
-            y[row] += values[vidx : vidx + usize] @ x[cols]
         elif body:
             deltas = np.frombuffer(ctl, dtype=WIDTH_DTYPES[cls], count=body, offset=pos)
             pos += body * width
@@ -97,9 +102,17 @@ def spmv_csr_du_unitwise(matrix: CSRDUMatrix, x: np.ndarray) -> np.ndarray:
             np.cumsum(deltas, out=cols[1:])
             cols[1:] += col
             col = int(cols[-1])
-            y[row] += values[vidx : vidx + usize] @ x[cols]
         else:
             y[row] += values[vidx] * x[col]
+            vidx += 1
+            continue
+        # Sequential accumulation: seed with the row's running sum,
+        # cumsum the products left to right (same order, same bits, as
+        # the reference kernel's scalar loop).
+        seg = chain[: usize + 1]
+        seg[0] = y[row]
+        np.multiply(values[vidx : vidx + usize], x[cols], out=seg[1:])
+        y[row] = np.cumsum(seg)[-1]
         vidx += usize
     if vidx != values.size:
         raise EncodingError(f"decoded {vidx} elements, expected {values.size}")

@@ -1,6 +1,7 @@
 """Segmented NumPy primitives underlying the vectorized kernels."""
 
 from repro.nputil.segops import (
+    SegmentedReducer,
     segment_ids_from_offsets,
     segment_lengths,
     segmented_cumsum,
@@ -9,6 +10,7 @@ from repro.nputil.segops import (
 )
 
 __all__ = [
+    "SegmentedReducer",
     "segment_ids_from_offsets",
     "segment_lengths",
     "segmented_cumsum",

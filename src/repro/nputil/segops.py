@@ -99,6 +99,11 @@ def segmented_reduce(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
 
     >>> segmented_reduce(np.array([1., 2., 3.]), np.array([0, 2, 2, 3])).tolist()
     [3.0, 0.0, 3.0]
+
+    Callers reducing many value arrays over one fixed segmentation (the
+    SpMV hot path) should build a :class:`SegmentedReducer` once instead:
+    it validates the offsets a single time and skips the per-call dtype
+    normalization done here.
     """
     values = np.asarray(values)
     offsets = _check_offsets(offsets, values.size)
@@ -116,6 +121,65 @@ def segmented_reduce(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
         return out
     # reduceat over the starts of non-empty segments only, then scatter.
     ne_starts = starts[nonempty]
-    reduced = np.add.reduceat(values.astype(out_dtype, copy=False), ne_starts)
+    vals = values if values.dtype == out_dtype else values.astype(out_dtype)
+    reduced = np.add.reduceat(vals, ne_starts)
     out[nonempty] = reduced
     return out
+
+
+class SegmentedReducer:
+    """Pre-validated segmented sum over one fixed offsets array.
+
+    The constructor does everything :func:`segmented_reduce` does per
+    call that depends only on the segmentation -- offsets validation,
+    the non-empty-segment scan, the ``intp`` cast of the reduceat start
+    indices -- so each :meth:`reduce` is just a ``reduceat`` plus (when
+    empty segments exist) a scatter.  This is the fast-path entry point
+    the SpMV kernel plans use: one reducer per matrix, one call per
+    SpMV iteration.
+
+    ``reduce`` accepts 1-D values (SpMV products) or 2-D values reduced
+    along axis 0 (SpMM products, one column per right-hand side).  The
+    caller guarantees ``values.shape[0] == self.n`` and a float dtype;
+    neither is re-checked here.
+    """
+
+    __slots__ = ("n", "nseg", "_ne_starts", "_nonempty", "_all_nonempty")
+
+    def __init__(self, offsets: np.ndarray, n: int | None = None):
+        offsets = np.asarray(offsets)
+        if n is None:
+            n = int(offsets[-1]) if offsets.size else 0
+        offsets = _check_offsets(offsets, n)
+        self.n = int(n)
+        self.nseg = offsets.size - 1
+        lens = np.diff(offsets)
+        nonempty = np.asarray(lens > 0)
+        self._all_nonempty = bool(nonempty.all()) if self.nseg else True
+        self._nonempty = nonempty
+        self._ne_starts = np.asarray(offsets[:-1], dtype=np.intp)[nonempty]
+
+    def reduce(self, values: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Per-segment sums of *values* (summation along axis 0).
+
+        With ``out=`` the result is written in place (the whole buffer
+        is overwritten, empty segments included) and returned.
+        """
+        shape = (self.nseg,) + values.shape[1:]
+        if self._ne_starts.size == 0:
+            if out is None:
+                return np.zeros(shape, dtype=values.dtype)
+            out[...] = 0
+            return out
+        reduced = np.add.reduceat(values, self._ne_starts, axis=0)
+        if self._all_nonempty:
+            if out is None:
+                return reduced
+            np.copyto(out, reduced)
+            return out
+        if out is None:
+            out = np.zeros(shape, dtype=values.dtype)
+        else:
+            out[...] = 0
+        out[self._nonempty] = reduced
+        return out

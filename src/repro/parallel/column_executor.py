@@ -58,11 +58,7 @@ class ColumnParallelSpMV:
             partials = [work(0)]
         else:
             partials = list(self._pool.map(work, range(self.nthreads)))
-        y = reduce_partial_results(partials)
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        return reduce_partial_results(partials, out=out)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -25,15 +25,26 @@ from repro.errors import PartitionError
 from repro.formats.base import SparseMatrix
 from repro.formats.conversions import convert, to_csr
 from repro.formats.csr import CSRMatrix
+from repro.kernels.plan import PLANNABLE_FORMATS, get_plan
 from repro.parallel.partition import RowPartition, row_partition
 from repro.telemetry import core as telemetry
 
 
-def reduce_partial_results(partials: Sequence[np.ndarray]) -> np.ndarray:
-    """Sum per-thread ``y`` copies (the column-partitioning reduction)."""
+def reduce_partial_results(
+    partials: Sequence[np.ndarray], out: np.ndarray | None = None
+) -> np.ndarray:
+    """Sum per-thread ``y`` copies (the column-partitioning reduction).
+
+    With ``out=`` the sum accumulates into the caller's buffer (fully
+    overwritten), so an iterative caller allocates nothing per call;
+    without it, one fresh copy of the first partial is made, as before.
+    """
     if not partials:
         raise PartitionError("no partial results to reduce")
-    out = np.array(partials[0], dtype=np.float64, copy=True)
+    if out is None:
+        out = np.array(partials[0], dtype=np.float64, copy=True)
+    else:
+        np.copyto(out, partials[0])
     for p in partials[1:]:
         out += p
     return out
@@ -75,6 +86,11 @@ class ParallelSpMV:
             lo, hi = self.partition.rows_of(t)
             chunk_csr: CSRMatrix = csr.row_slice(lo, hi)
             self.chunks.append(convert(chunk_csr, format_name, **format_kwargs))
+        # Build each chunk's kernel plan up front (part of the paper's
+        # one-time setup cost), so the first timed call is already hot.
+        for chunk in self.chunks:
+            if chunk.name in PLANNABLE_FORMATS:
+                get_plan(chunk)
         self._pool: ThreadPoolExecutor | None = (
             ThreadPoolExecutor(max_workers=nthreads) if nthreads > 1 else None
         )
@@ -87,7 +103,7 @@ class ParallelSpMV:
         def work(t: int) -> None:
             with telemetry.span("parallel.worker", thread=t):
                 lo, hi = self.partition.rows_of(t)
-                y[lo:hi] = self.chunks[t].spmv(x)
+                self.chunks[t].spmv(x, out=y[lo:hi])
 
         with telemetry.span("parallel.spmv", threads=self.nthreads):
             if self._pool is None:

@@ -24,6 +24,12 @@ name                           kind     meaning / labels
 ``encode.csr_vi.unique_vals``  gauge    unique-table size of the last encode
 ``encode.csr_vi.val_ind_bits`` gauge    val_ind width (bits) of the last encode
 ``encode.csr_vi.ttu``          gauge    total-to-unique ratio of the last encode
+``plan.build``                 span     kernel-plan construction; ``format``,
+                                        ``nnz``
+``plan.hit``                   counter  plan lookups served from the cache;
+                                        ``format``
+``plan.miss``                  counter  plan lookups that had to build;
+                                        ``format``
 ``partition.nnz``              counter  nonzeros assigned; ``thread``, ``lo``,
                                         ``hi`` (row/col-block bounds), ``kind``
 ``partition.imbalance``        gauge    max/mean nnz per thread of the last split
@@ -63,6 +69,9 @@ KNOWN_EVENTS = frozenset(
         "encode.csr_vi.unique_vals",
         "encode.csr_vi.val_ind_bits",
         "encode.csr_vi.ttu",
+        "plan.build",
+        "plan.hit",
+        "plan.miss",
         "partition.nnz",
         "partition.imbalance",
         "parallel.spmv",

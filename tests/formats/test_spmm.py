@@ -1,0 +1,77 @@
+"""Multi-vector SpMV (``spmm``): plannable overrides and the generic
+column-loop default must both match dense ``A @ X``."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CSRMatrix, convert
+from tests.conftest import random_sparse_dense
+
+PLANNED = ("csr", "csr-vi", "csr-du", "csr-du-vi")
+GENERIC = ("coo", "csc", "dcsr", "ell", "jds")
+
+
+def _case(fmt, *, quantize=None, empty_rows=False, seed=0):
+    dense = random_sparse_dense(
+        18, 25, 0.2, seed=seed, quantize=quantize, empty_rows=empty_rows
+    )
+    csr = CSRMatrix.from_dense(dense)
+    m = convert(csr, fmt)
+    X = np.random.default_rng(seed + 1).random((25, 4)) - 0.5
+    return dense, m, X
+
+
+class TestSpmmPlanned:
+    @pytest.mark.parametrize("fmt", PLANNED)
+    def test_matches_dense(self, fmt):
+        dense, m, X = _case(fmt, quantize=8)
+        assert np.allclose(m.spmm(X), dense @ X, atol=1e-9)
+
+    @pytest.mark.parametrize("fmt", PLANNED)
+    def test_matches_stacked_spmv(self, fmt):
+        """Each right-hand side accumulates in the same order as spmv,
+        so the columns agree bit for bit."""
+        _, m, X = _case(fmt, empty_rows=True, seed=5)
+        Y = m.spmm(X)
+        for j in range(X.shape[1]):
+            assert np.array_equal(Y[:, j], m.spmv(X[:, j])), f"column {j}"
+
+    @pytest.mark.parametrize("fmt", PLANNED)
+    def test_out_buffer(self, fmt):
+        _, m, X = _case(fmt, seed=9)
+        out = np.full((m.nrows, X.shape[1]), np.nan)
+        Y = m.spmm(X, out=out)
+        assert Y is out
+        assert np.allclose(out, m.spmm(X))
+
+    def test_plan_shared_with_spmv(self):
+        from repro.kernels.plan import has_plan
+
+        _, m, X = _case("csr-du")
+        m.spmm(X)
+        assert has_plan(m)
+
+    @pytest.mark.parametrize("fmt", PLANNED)
+    def test_shape_checked(self, fmt):
+        _, m, _ = _case(fmt)
+        with pytest.raises(FormatError, match="expected"):
+            m.spmm(np.zeros((m.ncols + 1, 3)))
+        with pytest.raises(FormatError, match="expected"):
+            m.spmm(np.zeros(m.ncols))  # 1-D is spmv's job
+
+    def test_single_column(self):
+        dense, m, _ = _case("csr-du", seed=2)
+        X = np.random.default_rng(0).random((25, 1))
+        assert np.allclose(m.spmm(X)[:, 0], dense @ X[:, 0], atol=1e-9)
+
+
+class TestSpmmGenericDefault:
+    @pytest.mark.parametrize("fmt", GENERIC)
+    def test_matches_dense(self, fmt):
+        dense, m, X = _case(fmt, seed=3)
+        assert np.allclose(m.spmm(X), dense @ X, atol=1e-9)
+
+    def test_empty_rows(self):
+        dense, m, X = _case("csc", empty_rows=True, seed=4)
+        assert np.allclose(m.spmm(X), dense @ X, atol=1e-9)

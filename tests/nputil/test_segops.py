@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.errors import FormatError
 from repro.nputil.segops import (
+    SegmentedReducer,
     first_in_segment_mask,
     segment_ids_from_offsets,
     segment_lengths,
@@ -138,3 +139,56 @@ class TestSegmentedReduce:
             for s in range(offsets.size - 1)
         ]
         assert np.allclose(out, expected)
+
+
+class TestSegmentedReducer:
+    """The pre-validated fast path must agree with segmented_reduce."""
+
+    @given(offsets_strategy(), st.integers(0, 1 << 30))
+    def test_matches_segmented_reduce(self, offsets, seed):
+        n = int(offsets[-1])
+        values = np.random.default_rng(seed).random(n)
+        reducer = SegmentedReducer(offsets, n)
+        assert np.array_equal(
+            reducer.reduce(values), segmented_reduce(values, offsets)
+        )
+
+    def test_n_inferred_from_offsets(self):
+        reducer = SegmentedReducer(np.array([0, 2, 5]))
+        assert reducer.n == 5
+        assert reducer.nseg == 2
+
+    def test_reused_across_calls(self):
+        reducer = SegmentedReducer(np.array([0, 2, 2, 3]), 3)
+        a = reducer.reduce(np.array([1.0, 2.0, 3.0]))
+        b = reducer.reduce(np.array([10.0, 20.0, 30.0]))
+        assert a.tolist() == [3.0, 0.0, 3.0]
+        assert b.tolist() == [30.0, 0.0, 30.0]
+
+    def test_out_buffer(self):
+        reducer = SegmentedReducer(np.array([0, 2, 2, 3]), 3)
+        out = np.full(3, np.nan)
+        ret = reducer.reduce(np.array([1.0, 2.0, 3.0]), out=out)
+        assert ret is out
+        assert out.tolist() == [3.0, 0.0, 3.0]  # empty segment overwritten
+
+    def test_out_buffer_all_nonempty(self):
+        reducer = SegmentedReducer(np.array([0, 2, 3]), 3)
+        out = np.full(2, np.nan)
+        assert reducer.reduce(np.ones(3), out=out).tolist() == [2.0, 1.0]
+
+    def test_two_dimensional_values(self):
+        reducer = SegmentedReducer(np.array([0, 2, 2, 3]), 3)
+        vals = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        out = reducer.reduce(vals)
+        assert out.tolist() == [[3.0, 30.0], [0.0, 0.0], [3.0, 30.0]]
+
+    def test_all_segments_empty(self):
+        reducer = SegmentedReducer(np.array([0, 0, 0]), 0)
+        assert reducer.reduce(np.empty(0)).tolist() == [0.0, 0.0]
+        out = np.ones(2)
+        assert reducer.reduce(np.empty(0), out=out).tolist() == [0.0, 0.0]
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(FormatError):
+            SegmentedReducer(np.array([1, 3]), 3)

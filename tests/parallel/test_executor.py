@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import PartitionError
-from repro.formats import CSRMatrix
+from repro.formats import CSRMatrix, convert
 from repro.parallel.executor import ParallelSpMV, reduce_partial_results
 
 from tests.conftest import random_sparse_dense
@@ -34,6 +34,26 @@ class TestParallelSpMV:
         x = np.random.default_rng(12).random(csr.ncols)
         with ParallelSpMV(csr, 1) as serial, ParallelSpMV(csr, 4) as par:
             assert np.array_equal(serial(x), par(x))
+
+    @pytest.mark.parametrize("fmt", ["csr", "csr-du", "csr-vi", "csr-du-vi"])
+    def test_batched_identical_to_serial(self, csr, fmt):
+        """The plan-backed (batched) chunk kernels stay bit-identical
+        across thread counts, and to the whole-matrix kernel: each row
+        accumulates in element order wherever it is computed."""
+        x = np.random.default_rng(14).random(csr.ncols)
+        y_whole = convert(csr, fmt).spmv(x)
+        with ParallelSpMV(csr, 1, format_name=fmt) as serial, ParallelSpMV(
+            csr, 4, format_name=fmt
+        ) as par:
+            assert np.array_equal(serial(x), par(x))
+            assert np.array_equal(y_whole, par(x))
+
+    def test_chunk_plans_prebuilt(self, csr):
+        """Plan construction is setup cost, not first-call cost."""
+        from repro.kernels.plan import has_plan
+
+        with ParallelSpMV(csr, 3, format_name="csr-du") as p:
+            assert all(has_plan(chunk) for chunk in p.chunks)
 
     def test_out_parameter(self, csr, dense):
         x = np.ones(csr.ncols)
@@ -91,3 +111,24 @@ class TestReduce:
     def test_empty_rejected(self):
         with pytest.raises(PartitionError):
             reduce_partial_results([])
+
+    def test_out_buffer_accumulates(self):
+        parts = [np.ones(3), 2 * np.ones(3)]
+        out = np.full(3, np.nan)  # fully overwritten, not added into
+        ret = reduce_partial_results(parts, out=out)
+        assert ret is out
+        assert out.tolist() == [3.0, 3.0, 3.0]
+
+    def test_out_buffer_reusable_across_iterations(self):
+        out = np.zeros(2)
+        for _ in range(3):
+            reduce_partial_results([np.ones(2), np.ones(2)], out=out)
+        assert out.tolist() == [2.0, 2.0]  # no accumulation across calls
+
+    def test_out_matches_fresh_allocation(self):
+        rng = np.random.default_rng(8)
+        parts = [rng.random(5) for _ in range(4)]
+        out = np.empty(5)
+        assert np.array_equal(
+            reduce_partial_results(parts, out=out), reduce_partial_results(parts)
+        )

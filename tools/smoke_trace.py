@@ -35,6 +35,9 @@ REQUIRED_EVENTS = frozenset(
         "bench.cell",
         "convert",
         "encode.csr_du.units",
+        "plan.build",
+        "plan.hit",
+        "plan.miss",
         "partition.nnz",
         "sim.spmv",
         "sim.bound",
