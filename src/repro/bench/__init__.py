@@ -27,8 +27,10 @@ from repro.bench.report import (
     format_speedup_table,
     format_table2,
 )
-from repro.bench.compare import compare_runs, format_comparison
-from repro.bench.record import load_run, record_run, result_to_dict
+from repro.bench.baseline import check_run, load_history, snapshot
+from repro.bench.compare import compare_runs, format_comparison, structure_diff
+from repro.bench.dashboard import render_dashboard, write_dashboard
+from repro.bench.record import load_run, record_run, result_to_dict, run_payload
 from repro.bench.sweep import (
     SweepPoint,
     bandwidth_sweep,
@@ -66,7 +68,14 @@ __all__ = [
     "format_sweep_table",
     "compare_runs",
     "format_comparison",
+    "structure_diff",
     "record_run",
     "load_run",
     "result_to_dict",
+    "run_payload",
+    "check_run",
+    "load_history",
+    "snapshot",
+    "render_dashboard",
+    "write_dashboard",
 ]

@@ -1,0 +1,309 @@
+"""Noise-aware performance regression tracking (the ``perf-gate``).
+
+A *history file* accumulates snapshots of recorded runs (the JSON
+bundles :func:`repro.bench.record.record_run` writes): every numeric
+leaf under ``experiments`` becomes a *cell* keyed by its path, holding
+the last ``max_runs`` observed values.  Checking a new run against the
+history flags any cell whose value moved beyond
+
+    max(tolerance * |mean|, k * stdev)
+
+from the historical mean -- the fixed tolerance absorbs deterministic
+model drift people opted into, the ``k * stdev`` term widens the band
+for cells that are naturally noisy (real-clock timings), and the check
+is two-sided because an unexplained improvement is as suspicious as a
+slowdown in a deterministic model.
+
+CLI (also reachable as ``python -m repro.bench perf-gate ...`` and via
+the ``tools/perf_gate.py`` wrapper)::
+
+    perf-gate run.json --history perf_history.json            # check
+    perf-gate run.json --history perf_history.json --snapshot # record
+    perf-gate --check-schema [--history perf_history.json]    # self-test
+
+Exit status 1 when any cell regresses (or the schema/self-test fails),
+0 otherwise -- the CI contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from dataclasses import dataclass
+
+from repro.bench.compare import _walk
+from repro.bench.record import load_run
+
+#: Bump when the history layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Snapshots kept per cell (oldest dropped first).
+DEFAULT_MAX_RUNS = 20
+
+
+def flatten_run(run: dict) -> dict[str, float]:
+    """Numeric leaves of a recorded run, keyed by dotted path."""
+    leaves: dict[str, float] = {}
+    _walk(run.get("experiments", {}), "", leaves)
+    return leaves
+
+
+def new_history() -> dict:
+    return {"schema": SCHEMA_VERSION, "runs": 0, "cells": {}}
+
+
+def validate_history(history: dict) -> list[str]:
+    """Schema problems in *history* (empty list means valid)."""
+    errors: list[str] = []
+    if not isinstance(history, dict):
+        return [f"history root must be an object, got {type(history).__name__}"]
+    if history.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema must be {SCHEMA_VERSION}, got {history.get('schema')!r}"
+        )
+    cells = history.get("cells")
+    if not isinstance(cells, dict):
+        errors.append("'cells' must be an object of path -> list of numbers")
+        return errors
+    for path, values in cells.items():
+        if not isinstance(values, list) or not values:
+            errors.append(f"cell {path!r} must hold a non-empty list")
+            continue
+        bad = [v for v in values if not isinstance(v, (int, float))]
+        if bad:
+            errors.append(f"cell {path!r} holds non-numeric values {bad[:3]}")
+    return errors
+
+
+def load_history(path) -> dict:
+    """Read a history file; a missing file is an empty history."""
+    if not os.path.exists(path):
+        return new_history()
+    with open(path, "r", encoding="utf-8") as fh:
+        history = json.load(fh)
+    errors = validate_history(history)
+    if errors:
+        raise ValueError(f"invalid history {path}: " + "; ".join(errors))
+    return history
+
+
+def save_history(history: dict, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2, sort_keys=True)
+
+
+def snapshot(history: dict, run: dict, *, max_runs: int = DEFAULT_MAX_RUNS) -> dict:
+    """Append *run*'s cells to *history* (in place); returns *history*."""
+    cells = history["cells"]
+    for path, value in flatten_run(run).items():
+        values = cells.setdefault(path, [])
+        values.append(value)
+        del values[:-max_runs]
+    history["runs"] = int(history.get("runs", 0)) + 1
+    return history
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One cell that moved outside its noise band."""
+
+    path: str
+    value: float
+    mean: float
+    stdev: float
+    threshold: float
+    samples: int
+
+    @property
+    def delta(self) -> float:
+        return self.value - self.mean
+
+    def describe(self) -> str:
+        rel = abs(self.delta) / abs(self.mean) if self.mean else float("inf")
+        return (
+            f"{self.path}: {self.value:.6g} vs mean {self.mean:.6g} "
+            f"over {self.samples} runs (moved {rel:.2%}, "
+            f"band +-{self.threshold:.3g})"
+        )
+
+
+def check_run(
+    history: dict,
+    run: dict,
+    *,
+    tolerance: float = 0.02,
+    k: float = 3.0,
+) -> list[Regression]:
+    """Cells of *run* outside ``max(tolerance*|mean|, k*stdev)``.
+
+    Cells with no history yet are skipped (they become tracked once
+    snapshotted); cells that vanished from the run are ignored here --
+    structural drift is :mod:`repro.bench.compare`'s job.
+    """
+    regressions: list[Regression] = []
+    cells = history["cells"]
+    for path, value in sorted(flatten_run(run).items()):
+        values = cells.get(path)
+        if not values:
+            continue
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / n
+        stdev = math.sqrt(var)
+        threshold = max(tolerance * abs(mean), k * stdev)
+        if abs(value - mean) > threshold:
+            regressions.append(
+                Regression(
+                    path=path,
+                    value=value,
+                    mean=mean,
+                    stdev=stdev,
+                    threshold=threshold,
+                    samples=n,
+                )
+            )
+    return regressions
+
+
+def _self_test() -> list[str]:
+    """End-to-end check of the gate's own logic on synthetic data.
+
+    Builds a three-run history of one noisy and one exact cell, then
+    asserts (a) a clean fourth run passes, (b) a run with an injected
+    regression on the exact cell fails, (c) snapshotting keeps the
+    window bounded.  Returns failure descriptions (empty = pass).
+    """
+    failures: list[str] = []
+
+    def run_with(time_value: float, mflops: float = 100.0) -> dict:
+        return {
+            "experiments": {
+                "table2": {"cells": {"1|csr|1|close": {"time": time_value}}},
+                "fig7": {"mflops": mflops},
+            }
+        }
+
+    history = new_history()
+    for t in (1.00, 1.01, 0.99):
+        snapshot(history, run_with(t))
+    errors = validate_history(history)
+    if errors:
+        failures.append(f"snapshotted history invalid: {errors}")
+
+    clean = check_run(history, run_with(1.005), tolerance=0.02, k=3.0)
+    if clean:
+        failures.append(
+            "clean rerun flagged: " + "; ".join(r.describe() for r in clean)
+        )
+
+    regressed = check_run(history, run_with(1.5), tolerance=0.02, k=3.0)
+    if not any("time" in r.path for r in regressed):
+        failures.append("injected 50% time regression not flagged")
+
+    exact = check_run(history, run_with(1.0, mflops=90.0))
+    if not any("mflops" in r.path for r in exact):
+        failures.append("deviation on an exact (zero-stdev) cell not flagged")
+
+    for _ in range(3 * DEFAULT_MAX_RUNS):
+        snapshot(history, run_with(1.0))
+    if any(len(v) > DEFAULT_MAX_RUNS for v in history["cells"].values()):
+        failures.append("history window not bounded by max_runs")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf-gate",
+        description="Noise-aware perf regression gate over recorded runs.",
+    )
+    parser.add_argument(
+        "run",
+        nargs="?",
+        default=None,
+        help="recorded run JSON (from --json) to check/snapshot",
+    )
+    parser.add_argument(
+        "--history",
+        default="perf_history.json",
+        help="history file accumulating snapshots (default perf_history.json)",
+    )
+    parser.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="append the run to the history after checking",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="relative drift always tolerated (default 2%%)",
+    )
+    parser.add_argument(
+        "--k",
+        type=float,
+        default=3.0,
+        help="stdev multiplier widening the band for noisy cells (default 3)",
+    )
+    parser.add_argument(
+        "--max-runs",
+        type=int,
+        default=DEFAULT_MAX_RUNS,
+        help=f"snapshots kept per cell (default {DEFAULT_MAX_RUNS})",
+    )
+    parser.add_argument(
+        "--check-schema",
+        action="store_true",
+        help="validate the history file and run the gate's self-test",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check_schema:
+        status = 0
+        if os.path.exists(args.history):
+            try:
+                load_history(args.history)
+                print(f"history {args.history}: schema OK")
+            except ValueError as exc:
+                print(exc)
+                status = 1
+        else:
+            print(f"history {args.history}: absent (treated as empty), OK")
+        failures = _self_test()
+        for f in failures:
+            print(f"self-test FAILED: {f}")
+        if not failures:
+            print("self-test OK")
+        return 1 if (status or failures) else 0
+
+    if args.run is None:
+        parser.error("a run file is required unless --check-schema is given")
+    run = load_run(args.run)
+    history = load_history(args.history)
+    tracked = sum(1 for v in history["cells"].values() if v)
+    regressions = check_run(
+        history, run, tolerance=args.tolerance, k=args.k
+    )
+    if tracked == 0:
+        print(f"{args.history}: no history yet; nothing to check")
+    else:
+        print(
+            f"checked {len(flatten_run(run))} cells against {tracked} tracked "
+            f"({int(history.get('runs', 0))} snapshots): "
+            f"{len(regressions)} regression(s)"
+        )
+    for r in regressions:
+        print(f"  REGRESSION {r.describe()}")
+    if args.snapshot and not regressions:
+        snapshot(history, run, max_runs=args.max_runs)
+        save_history(history, args.history)
+        print(f"snapshotted into {args.history}")
+    elif args.snapshot:
+        print("not snapshotting a regressed run")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,15 @@ experiments after it with telemetry on and prints the top spans and
 counters instead of requiring a trace file::
 
     python -m repro.bench table2 --scale 0.0625 --trace /tmp/t.jsonl
-    python -m repro.bench profile table2 --scale 0.0625
+    python -m repro.bench profile table2 --scale 0.0625 --top 10
+
+``report-html`` works like ``profile`` but renders the
+:mod:`repro.bench.dashboard` report (attribution tables, per-thread
+timelines, baseline deltas) instead; ``perf-gate`` delegates everything
+after it to :mod:`repro.bench.baseline`::
+
+    python -m repro.bench report-html table2 --scale 0.0625 --html report.html
+    python -m repro.bench perf-gate run.json --history perf_history.json
 """
 
 from __future__ import annotations
@@ -92,6 +100,11 @@ def _run_one(
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "perf-gate":
+        from repro.bench.baseline import main as gate_main
+
+        return gate_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures on the machine model.",
@@ -101,7 +114,9 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         help=(
             f"experiments to run: {', '.join(_EXPERIMENTS)}, or 'all'; "
-            "prefix with 'profile' to print a telemetry summary"
+            "prefix with 'profile' for a telemetry summary or "
+            "'report-html' for the HTML dashboard; 'perf-gate ...' "
+            "delegates to the regression gate"
         ),
     )
     parser.add_argument(
@@ -144,19 +159,45 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="enable telemetry and write a chrome://tracing JSON file",
     )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="span rows shown in the 'profile' summary (default 20)",
+    )
+    parser.add_argument(
+        "--html",
+        type=str,
+        default="report.html",
+        help="output path for the 'report-html' dashboard",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help=(
+            "recorded run JSON to diff against in the dashboard's "
+            "baseline-deltas section"
+        ),
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
-    profile = False
+    profile = html_report = False
     if names and names[0] == "profile":
         profile = True
         names = names[1:]
         if not names:
             parser.error("'profile' needs at least one experiment to run")
+    elif names and names[0] == "report-html":
+        html_report = True
+        names = names[1:]
+        if not names:
+            parser.error("'report-html' needs at least one experiment to run")
     if "all" in names:
         names = list(_EXPERIMENTS)
     config = ExperimentConfig(scale=args.scale, kernel=args.kernel)
-    trace_on = profile or args.trace or args.chrome_trace
+    trace_on = profile or html_report or args.trace or args.chrome_trace
     prev_collector = (
         telemetry.set_collector(telemetry.Collector()) if trace_on else None
     )
@@ -170,7 +211,7 @@ def main(argv: list[str] | None = None) -> int:
             blocks.append(
                 f"=== {name} (scale={args.scale:g}, {elapsed:.1f}s) ===\n{text}\n"
             )
-            if args.json and result is not None:
+            if (args.json or html_report) and result is not None:
                 structured[name] = result
         output = "\n".join(blocks)
         print(output)
@@ -190,8 +231,31 @@ def main(argv: list[str] | None = None) -> int:
                 target = args.trace if kind == "jsonl" else args.chrome_trace
                 print(f"[telemetry] wrote {n} {kind} events to {target}")
             if profile:
+                from repro.perf.imbalance import format_report, summarize_parallel
+
                 print()
-                print(summary(collector))
+                print(summary(collector, top=args.top))
+                report = summarize_parallel(collector.snapshot())
+                if report.ncalls:
+                    print()
+                    print(format_report(report))
+            if html_report:
+                from repro.bench.dashboard import write_dashboard
+                from repro.bench.record import load_run, run_payload
+
+                baseline = load_run(args.baseline) if args.baseline else None
+                current = (
+                    run_payload(structured, config)
+                    if baseline is not None
+                    else None
+                )
+                path = write_dashboard(
+                    args.html,
+                    collector.snapshot(),
+                    baseline=baseline,
+                    current=current,
+                )
+                print(f"[dashboard] wrote {path}")
     finally:
         if trace_on:
             telemetry.set_collector(prev_collector)

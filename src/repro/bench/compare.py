@@ -50,7 +50,8 @@ def compare_runs(old: dict, new: dict) -> tuple[list[Deviation], list[str]]:
     """Pair numeric leaves of two bundles.
 
     Returns ``(deviations, structure_mismatches)`` -- paths present in
-    only one run go into the second list.
+    only one run go into the second list (either direction; use
+    :func:`structure_diff` to tell which side).
     """
     old_leaves: dict[str, float] = {}
     new_leaves: dict[str, float] = {}
@@ -66,14 +67,36 @@ def compare_runs(old: dict, new: dict) -> tuple[list[Deviation], list[str]]:
     return deviations, mismatches
 
 
+def structure_diff(old: dict, new: dict) -> tuple[list[str], list[str]]:
+    """``(added, removed)`` leaf paths between two bundles.
+
+    *added* leaves exist only in *new* (a result grew), *removed* only
+    in *old* (a result vanished) -- the direction matters: a renamed
+    experiment shows up on both lists at once.
+    """
+    old_leaves: dict[str, float] = {}
+    new_leaves: dict[str, float] = {}
+    _walk(old.get("experiments", {}), "", old_leaves)
+    _walk(new.get("experiments", {}), "", new_leaves)
+    added = sorted(set(new_leaves) - set(old_leaves))
+    removed = sorted(set(old_leaves) - set(new_leaves))
+    return added, removed
+
+
 def format_comparison(
     deviations: list[Deviation],
     mismatches: list[str],
     *,
     tolerance: float = 0.0,
     top: int = 15,
+    added: list[str] | None = None,
+    removed: list[str] | None = None,
 ) -> str:
-    """Human-readable summary, worst deviations first."""
+    """Human-readable summary, worst deviations first.
+
+    With *added*/*removed* (from :func:`structure_diff`), structural
+    drift is reported per direction instead of as a bare mismatch.
+    """
     lines = []
     moved = [d for d in deviations if d.relative > tolerance]
     lines.append(
@@ -85,8 +108,14 @@ def format_comparison(
         lines.append(
             f"  {d.relative:8.2%}  {d.path}: {d.old:.6g} -> {d.new:.6g}"
         )
-    for p in mismatches[:top]:
-        lines.append(f"  only in one run: {p}")
+    if added is None and removed is None:
+        for p in mismatches[:top]:
+            lines.append(f"  only in one run: {p}")
+    else:
+        for p in (added or [])[:top]:
+            lines.append(f"  added (only in new run): {p}")
+        for p in (removed or [])[:top]:
+            lines.append(f"  removed (only in old run): {p}")
     return "\n".join(lines)
 
 
@@ -104,8 +133,18 @@ def main(argv: list[str] | None = None) -> int:
         help="maximum accepted relative deviation per result (default 1%%)",
     )
     args = parser.parse_args(argv)
-    deviations, mismatches = compare_runs(load_run(args.old), load_run(args.new))
-    print(format_comparison(deviations, mismatches, tolerance=args.tolerance))
+    old_run, new_run = load_run(args.old), load_run(args.new)
+    deviations, mismatches = compare_runs(old_run, new_run)
+    added, removed = structure_diff(old_run, new_run)
+    print(
+        format_comparison(
+            deviations,
+            mismatches,
+            tolerance=args.tolerance,
+            added=added,
+            removed=removed,
+        )
+    )
     worst = max((d.relative for d in deviations), default=0.0)
     return 1 if (worst > args.tolerance or mismatches) else 0
 

@@ -1,0 +1,308 @@
+"""Self-contained HTML performance report (the ``report-html`` output).
+
+One file, zero external assets (inline CSS, inline SVG -- it must open
+from a mail attachment or CI artifact with no network), rendering:
+
+* the **attribution table** -- every ``perf.attribution`` record the
+  run emitted (one per measured bench cell), with the byte split,
+  FLOP:byte ratio, effective bandwidth, %-of-roofline, binding
+  constraint, imbalance ratios and compression-vs-speedup columns;
+* the **compression correlation** -- Pearson r between size reduction
+  and speedup across attributed cells, the paper's headline claim;
+* **per-thread timelines** -- an SVG lane per OS thread built from the
+  recorded spans, so barrier waits are visible as gaps;
+* the **parallel balance table** from
+  :func:`repro.perf.imbalance.summarize_parallel`;
+* **baseline deltas** -- worst relative movements of the current
+  recorded run against a baseline bundle, when both are given.
+
+Everything renders from data already collected elsewhere (telemetry
+events, recorded-run JSON); this module only formats.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Iterable
+
+from repro.bench.compare import compare_runs
+from repro.perf.attribution import compression_speedup_correlation
+from repro.perf.imbalance import (
+    _as_dicts,
+    summarize_parallel,
+    thread_timelines,
+)
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 75em; color: #1c2733; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #2b6cb0; padding-bottom: .3em; }
+h2 { font-size: 1.15em; margin-top: 2em; color: #2b6cb0; }
+table { border-collapse: collapse; font-size: .85em; width: 100%; }
+th, td { border: 1px solid #cbd5e0; padding: .25em .5em; text-align: right; }
+th { background: #edf2f7; }
+td.l, th.l { text-align: left; }
+tr:nth-child(even) td { background: #f7fafc; }
+.note { color: #4a5568; font-size: .9em; }
+.bad { color: #c53030; font-weight: bold; }
+.ok { color: #2f855a; }
+svg { border: 1px solid #cbd5e0; background: #fff; }
+"""
+
+#: Fill colors cycled over span names in the timeline SVG.
+_PALETTE = ("#2b6cb0", "#2f855a", "#b7791f", "#9b2c2c", "#553c9a", "#2c7a7b")
+
+#: Spans drawn in the timeline (others are setup noise at this zoom).
+_TIMELINE_SPANS = ("parallel.spmv", "parallel.chunk", "bench.measure")
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def attribution_records(events: Iterable[Any]) -> list[dict]:
+    """Rebuild attribution rows from ``perf.attribution`` events.
+
+    Each event's attrs carry the labels (``format``, ``threads``,
+    ``placement``) plus the full numeric payload, so the record
+    round-trips through a JSONL trace unchanged.
+    """
+    rows = []
+    for ev in _as_dicts(events):
+        if ev.get("name") != "perf.attribution":
+            continue
+        rows.append(dict(ev["attrs"]))
+    rows.sort(
+        key=lambda r: (
+            r.get("matrix_id", -1),
+            str(r.get("format", "")),
+            r.get("threads", 0),
+            str(r.get("placement", "")),
+        )
+    )
+    return rows
+
+
+def _attribution_table(rows: list[dict]) -> str:
+    if not rows:
+        return "<p class=note>No attribution records in this run.</p>"
+    head = (
+        "<tr><th>matrix</th><th class=l>format</th><th>thr</th>"
+        "<th class=l>place</th><th>time (s)</th><th>MFLOPS</th>"
+        "<th>bytes/iter</th><th>index</th><th>value</th><th>vector</th>"
+        "<th>F:B</th><th>GB/s</th><th>roofline</th><th class=l>bound</th>"
+        "<th>nnz imb</th><th>t imb</th><th>size vs CSR</th>"
+        "<th>speedup</th><th>plan h/m</th></tr>"
+    )
+    body = []
+    for r in rows:
+        pct = float(r.get("roofline_pct", 0.0))
+        cls = "ok" if pct >= 50.0 else ""
+        speedup = float(r.get("speedup_vs_csr", 0.0))
+        body.append(
+            "<tr>"
+            f"<td>{_esc(r.get('matrix_id', '?'))}</td>"
+            f"<td class=l>{_esc(r.get('format', '?'))}</td>"
+            f"<td>{_esc(r.get('threads', '?'))}</td>"
+            f"<td class=l>{_esc(r.get('placement', '?'))}</td>"
+            f"<td>{float(r.get('time_s', 0.0)):.3e}</td>"
+            f"<td>{float(r.get('mflops', 0.0)):.1f}</td>"
+            f"<td>{int(r.get('bytes_per_iter', 0))}</td>"
+            f"<td>{int(r.get('index_bytes', 0))}</td>"
+            f"<td>{int(r.get('value_bytes', 0))}</td>"
+            f"<td>{int(r.get('vector_bytes', 0))}</td>"
+            f"<td>{float(r.get('flops_per_byte', 0.0)):.3f}</td>"
+            f"<td>{float(r.get('effective_gbps', 0.0)):.2f}</td>"
+            f"<td class='{cls}'>{pct:.1f}%</td>"
+            f"<td class=l>{_esc(r.get('bound', '?'))}</td>"
+            f"<td>{float(r.get('nnz_imbalance', 1.0)):.3f}</td>"
+            f"<td>{float(r.get('time_imbalance', 1.0)):.3f}</td>"
+            f"<td>{float(r.get('compression_ratio', 1.0)):.3f}</td>"
+            f"<td>{speedup:.3f}</td>"
+            f"<td>{int(r.get('plan_hits', 0))}/{int(r.get('plan_misses', 0))}</td>"
+            "</tr>"
+        )
+    return f"<table>{head}{''.join(body)}</table>"
+
+
+def _correlation_section(rows: list[dict]) -> str:
+    points = [
+        (1.0 - float(r["compression_ratio"]), float(r["speedup_vs_csr"]))
+        for r in rows
+        if float(r.get("speedup_vs_csr", 0.0)) > 0.0
+        and "compression_ratio" in r
+    ]
+    if len(points) < 2:
+        return (
+            "<p class=note>Not enough attributed compressed cells for a "
+            "compression-vs-speedup correlation.</p>"
+        )
+    r = compression_speedup_correlation(points)
+    return (
+        f"<p>Pearson correlation between size reduction and speedup over "
+        f"{len(points)} compressed cells: <b>{r:+.3f}</b> "
+        "(the paper's claim is that smaller streams run faster once "
+        "bandwidth binds, i.e. positive).</p>"
+    )
+
+
+def _timeline_svg(events: Iterable[Any], *, max_spans: int = 600) -> str:
+    lanes = thread_timelines(events)
+    drawable = {
+        tid: [s for s in spans if s[2] in _TIMELINE_SPANS]
+        for tid, spans in lanes.items()
+    }
+    drawable = {tid: spans for tid, spans in drawable.items() if spans}
+    if not drawable:
+        return "<p class=note>No parallel spans recorded in this run.</p>"
+    t0 = min(s[0] for spans in drawable.values() for s in spans)
+    t1 = max(s[0] + s[1] for spans in drawable.values() for s in spans)
+    width_us = max(t1 - t0, 1.0)
+    width_px, lane_h, label_w = 960, 22, 90
+    height = lane_h * len(drawable) + 24
+    colors = {
+        name: _PALETTE[i % len(_PALETTE)]
+        for i, name in enumerate(_TIMELINE_SPANS)
+    }
+    parts = [
+        f'<svg width="{width_px + label_w}" height="{height}" '
+        'xmlns="http://www.w3.org/2000/svg" role="img">'
+    ]
+    drawn = 0
+    for row, (tid, spans) in enumerate(sorted(drawable.items())):
+        y = row * lane_h + 16
+        parts.append(
+            f'<text x="2" y="{y + 12}" font-size="11">tid {tid}</text>'
+        )
+        for ts, dur, name in spans:
+            if drawn >= max_spans:
+                break
+            x = label_w + (ts - t0) / width_us * width_px
+            w = max(dur / width_us * width_px, 0.5)
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                f'height="{lane_h - 6}" fill="{colors[name]}" '
+                f'fill-opacity="0.75"><title>{_esc(name)} '
+                f"{dur:.1f}us</title></rect>"
+            )
+            drawn += 1
+    legend_x = label_w
+    for i, name in enumerate(_TIMELINE_SPANS):
+        parts.append(
+            f'<rect x="{legend_x}" y="2" width="10" height="10" '
+            f'fill="{colors[name]}"/>'
+            f'<text x="{legend_x + 14}" y="11" font-size="10">{_esc(name)}</text>'
+        )
+        legend_x += 14 + 8 * len(name)
+    parts.append("</svg>")
+    cap = (
+        f"<p class=note>Timeline truncated at {max_spans} spans.</p>"
+        if drawn >= max_spans
+        else ""
+    )
+    return (
+        f"<p class=note>{width_us / 1e3:.3f} ms window, one lane per OS "
+        f"thread; hover a bar for span name and duration.</p>"
+        + "".join(parts)
+        + cap
+    )
+
+
+def _balance_table(events: Iterable[Any], *, max_calls: int = 30) -> str:
+    report = summarize_parallel(events)
+    if not report.ncalls:
+        return "<p class=note>No multithreaded SpMV calls in this run.</p>"
+    head = (
+        "<tr><th>call</th><th>duration (ms)</th><th>threads</th>"
+        "<th>time imbalance</th><th>nnz imbalance</th>"
+        "<th>nnz-vs-time</th><th>barrier wait (ms)</th></tr>"
+    )
+    body = []
+    for i, call in enumerate(report.calls[:max_calls]):
+        body.append(
+            "<tr>"
+            f"<td>{i}</td><td>{call.dur_us / 1e3:.3f}</td>"
+            f"<td>{len(call.busy_us)}</td>"
+            f"<td>{call.time_imbalance:.3f}</td>"
+            f"<td>{call.nnz_imbalance:.3f}</td>"
+            f"<td>{call.nnz_vs_time:.3f}</td>"
+            f"<td>{call.total_barrier_wait_us / 1e3:.3f}</td></tr>"
+        )
+    note = (
+        f"<p class=note>Showing {max_calls} of {report.ncalls} calls.</p>"
+        if report.ncalls > max_calls
+        else ""
+    )
+    return (
+        f"<p>{report.ncalls} multithreaded calls, mean time imbalance "
+        f"<b>{report.mean_time_imbalance:.3f}</b>, mean nnz-vs-time "
+        f"<b>{report.mean_nnz_vs_time:.3f}</b>, total barrier wait "
+        f"{report.total_barrier_wait_us / 1e3:.3f} ms.</p>"
+        f"<table>{head}{''.join(body)}</table>{note}"
+    )
+
+
+def _delta_table(baseline: dict, current: dict, *, top: int = 20) -> str:
+    deviations, mismatches = compare_runs(baseline, current)
+    moved = sorted(deviations, key=lambda d: -d.relative)
+    head = (
+        "<tr><th class=l>result</th><th>baseline</th><th>current</th>"
+        "<th>moved</th></tr>"
+    )
+    body = []
+    for d in moved[:top]:
+        cls = "bad" if d.relative > 0.02 else ""
+        body.append(
+            "<tr>"
+            f"<td class=l>{_esc(d.path)}</td><td>{d.old:.6g}</td>"
+            f"<td>{d.new:.6g}</td>"
+            f"<td class='{cls}'>{d.relative:.2%}</td></tr>"
+        )
+    parts = [
+        f"<p>{len(deviations)} shared results, "
+        f"{len(mismatches)} structural mismatches; worst movements:</p>",
+        f"<table>{head}{''.join(body)}</table>",
+    ]
+    if mismatches:
+        items = "".join(f"<li>{_esc(p)}</li>" for p in mismatches[:top])
+        parts.append(f"<p class=note>Only in one run:</p><ul>{items}</ul>")
+    return "".join(parts)
+
+
+def render_dashboard(
+    events: Iterable[Any],
+    *,
+    title: str = "SpMV performance report",
+    baseline: dict | None = None,
+    current: dict | None = None,
+) -> str:
+    """The full report as one self-contained HTML string."""
+    evs = _as_dicts(events)
+    rows = attribution_records(evs)
+    sections = [
+        f"<h1>{_esc(title)}</h1>",
+        f"<h2>Attribution ({len(rows)} cells)</h2>",
+        _attribution_table(rows),
+        "<h2>Compression vs speedup</h2>",
+        _correlation_section(rows),
+        "<h2>Per-thread timelines</h2>",
+        _timeline_svg(evs),
+        "<h2>Parallel balance</h2>",
+        _balance_table(evs),
+    ]
+    if baseline is not None and current is not None:
+        sections.append("<h2>Baseline deltas</h2>")
+        sections.append(_delta_table(baseline, current))
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f"<body>{''.join(sections)}</body></html>\n"
+    )
+
+
+def write_dashboard(path, events: Iterable[Any], **kwargs) -> str:
+    """Render and write the report; returns *path* (for logging)."""
+    text = render_dashboard(events, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return str(path)

@@ -17,13 +17,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import MachineModelError, ReproError
 from repro.formats.base import SparseMatrix, Storage
 from repro.formats.conversions import convert
 from repro.machine.costmodel import CostModel, default_cost_model
 from repro.machine.simulate import simulate_spmv
 from repro.machine.topology import MachineSpec, clovertown_8core
 from repro.matrices.collection import realize
+from repro.perf import attribution as perf_attribution
+from repro.perf.attribution import Attribution
+from repro.perf.bytes import ByteBreakdown, bytes_per_iteration
 from repro.telemetry import core as telemetry
 from repro.util.timing import measure
 
@@ -66,7 +69,14 @@ class ExperimentConfig:
 
 @dataclass(frozen=True)
 class MatrixResult:
-    """All measurements for one (matrix, format) pair."""
+    """All measurements for one (matrix, format) pair.
+
+    ``attributions`` carries one :class:`~repro.perf.attribution.Attribution`
+    per configuration -- bytes/iteration, effective GB/s, %-of-roofline,
+    imbalance ratios -- for every format the traffic model supports
+    (empty for the exotic formats the real clock can time but the
+    byte-layout census cannot split).
+    """
 
     matrix_id: int
     format_name: str
@@ -75,6 +85,7 @@ class MatrixResult:
     times: dict[tuple[int, str], float]  # (threads, placement) -> seconds
     mflops: dict[tuple[int, str], float]
     bounds: dict[tuple[int, str], str]
+    attributions: dict[tuple[int, str], Attribution] = field(default_factory=dict)
 
     @property
     def size_reduction(self) -> float:
@@ -123,11 +134,16 @@ def run_format_matrix(
         if plannable and (config.clock == "real" or telemetry.enabled()):
             get_plan(converted)
         machine = config.scaled_machine()
+        if csr_storage is None:
+            csr_storage = convert(matrix, "csr").storage()
         times: dict[tuple[int, str], float] = {}
         mflops: dict[tuple[int, str], float] = {}
         bounds: dict[tuple[int, str], str] = {}
+        attributions: dict[tuple[int, str], Attribution] = {}
+        breakdowns: dict[int, ByteBreakdown] = {}  # per thread count
         for threads, placement in configs:
             key = (threads, placement)
+            sim_res = None
             if plannable and telemetry.enabled():
                 get_plan(converted)  # cache hit, one per configuration
             if config.clock == "model":
@@ -141,6 +157,7 @@ def run_format_matrix(
                 times[key] = res.time_s
                 mflops[key] = res.mflops
                 bounds[key] = res.bound
+                sim_res = res
             elif config.clock == "real":
                 if threads != 1:
                     raise ReproError(
@@ -168,8 +185,30 @@ def run_format_matrix(
                 bounds[key] = "wallclock"
             else:
                 raise ReproError(f"unknown clock {config.clock!r}")
-        if csr_storage is None:
-            csr_storage = convert(matrix, "csr").storage()
+            try:
+                if threads not in breakdowns:
+                    breakdowns[threads] = bytes_per_iteration(converted, threads)
+                att = perf_attribution.attribute_cell(
+                    converted,
+                    threads=threads,
+                    placement=placement,
+                    time_s=times[key],
+                    machine=machine,
+                    cost_model=config.cost_model,
+                    matrix_id=matrix_id,
+                    clock=config.clock,
+                    sim=sim_res,
+                    csr_storage=csr_storage,
+                    breakdown=breakdowns[threads],
+                )
+            except MachineModelError:
+                # Formats the byte-layout census cannot split (ellpack,
+                # coo, ...) still get timed; they just go unattributed.
+                pass
+            else:
+                attributions[key] = att
+                if telemetry.enabled():
+                    perf_attribution.record(att)
         cell.add(nnz=converted.nnz)
     return MatrixResult(
         matrix_id=matrix_id,
@@ -179,6 +218,7 @@ def run_format_matrix(
         times=times,
         mflops=mflops,
         bounds=bounds,
+        attributions=attributions,
     )
 
 
@@ -219,6 +259,18 @@ def run_set(
                     configs=configs,
                     csr_storage=csr_storage,
                 )
+            # With a CSR baseline in the set, fill in each compressed
+            # format's speedup so the attribution records can answer the
+            # paper's compression-ratio-vs-speedup question directly.
+            baseline = per_fmt.get("csr")
+            if baseline is not None:
+                for fmt, res in per_fmt.items():
+                    if fmt == "csr":
+                        continue
+                    for key, att in list(res.attributions.items()):
+                        csr_time = baseline.times.get(key)
+                        if csr_time:
+                            res.attributions[key] = att.with_speedup(csr_time)
             out[mid] = per_fmt
     return out
 

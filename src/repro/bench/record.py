@@ -60,11 +60,9 @@ def result_to_dict(result: Any) -> dict:
     raise TypeError(f"cannot record {type(result).__name__}")
 
 
-def record_run(
-    results: dict[str, Any], config: ExperimentConfig, path
-) -> None:
-    """Write a named bundle of experiment results to *path* as JSON."""
-    payload = {
+def run_payload(results: dict[str, Any], config: ExperimentConfig) -> dict:
+    """The JSON-ready bundle for a set of named experiment results."""
+    return {
         "library_version": __version__,
         "scale": config.scale,
         "machine": config.scaled_machine().name,
@@ -79,8 +77,14 @@ def record_run(
             name: result_to_dict(result) for name, result in results.items()
         },
     }
+
+
+def record_run(
+    results: dict[str, Any], config: ExperimentConfig, path
+) -> None:
+    """Write a named bundle of experiment results to *path* as JSON."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
+        json.dump(run_payload(results, config), fh, indent=2, sort_keys=True)
 
 
 def load_run(path) -> dict:

@@ -20,6 +20,7 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.conversions import to_csr
 from repro.parallel.executor import reduce_partial_results
 from repro.parallel.partition import BlockPartition, block_partition
+from repro.telemetry import core as telemetry
 
 
 def _extract_tile(
@@ -82,17 +83,27 @@ class BlockParallelSpMV:
             raise PartitionError(f"x has shape {x.shape}, expected ({self.ncols},)")
 
         def work(t: int) -> np.ndarray:
-            y = self._partials[t]
-            y[:] = 0.0
-            for (r0, _r1), (c0, c1), tile in self.tiles[t]:
-                y[r0 : r0 + tile.nrows] += tile.spmv(x[c0:c1])
-            return y
+            nnz = sum(tile.nnz for _, _, tile in self.tiles[t])
+            with telemetry.span(
+                "parallel.chunk",
+                thread=t,
+                lo=0,
+                hi=len(self.tiles[t]),
+                nnz=int(nnz),
+                kind="block",
+            ):
+                y = self._partials[t]
+                y[:] = 0.0
+                for (r0, _r1), (c0, c1), tile in self.tiles[t]:
+                    y[r0 : r0 + tile.nrows] += tile.spmv(x[c0:c1])
+                return y
 
-        if self._pool is None:
-            partials = [work(0)]
-        else:
-            partials = list(self._pool.map(work, range(self.nthreads)))
-        return reduce_partial_results(partials, out=out)
+        with telemetry.span("parallel.spmv", threads=self.nthreads, kind="block"):
+            if self._pool is None:
+                partials = [work(0)]
+            else:
+                partials = list(self._pool.map(work, range(self.nthreads)))
+            return reduce_partial_results(partials, out=out)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -24,6 +24,7 @@ from repro.formats.csc import CSCMatrix
 from repro.formats.conversions import to_csr
 from repro.parallel.executor import reduce_partial_results
 from repro.parallel.partition import ColumnPartition, column_partition
+from repro.telemetry import core as telemetry
 
 
 class ColumnParallelSpMV:
@@ -52,13 +53,22 @@ class ColumnParallelSpMV:
 
         def work(t: int) -> np.ndarray:
             lo, hi = self.partition.cols_of(t)
-            return self.chunks[t].spmv(x[lo:hi], out=self._partials[t])
+            with telemetry.span(
+                "parallel.chunk",
+                thread=t,
+                lo=lo,
+                hi=hi,
+                nnz=int(self.partition.nnz_per_thread[t]),
+                kind="column",
+            ):
+                return self.chunks[t].spmv(x[lo:hi], out=self._partials[t])
 
-        if self._pool is None:
-            partials = [work(0)]
-        else:
-            partials = list(self._pool.map(work, range(self.nthreads)))
-        return reduce_partial_results(partials, out=out)
+        with telemetry.span("parallel.spmv", threads=self.nthreads, kind="column"):
+            if self._pool is None:
+                partials = [work(0)]
+            else:
+                partials = list(self._pool.map(work, range(self.nthreads)))
+            return reduce_partial_results(partials, out=out)
 
     def close(self) -> None:
         if self._pool is not None:

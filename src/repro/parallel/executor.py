@@ -101,8 +101,15 @@ class ParallelSpMV:
         y = out if out is not None else np.empty(self.nrows, dtype=np.float64)
 
         def work(t: int) -> None:
-            with telemetry.span("parallel.worker", thread=t):
-                lo, hi = self.partition.rows_of(t)
+            lo, hi = self.partition.rows_of(t)
+            with telemetry.span(
+                "parallel.chunk",
+                thread=t,
+                lo=lo,
+                hi=hi,
+                nnz=int(self.partition.nnz_per_thread[t]),
+                kind="row",
+            ):
                 self.chunks[t].spmv(x, out=y[lo:hi])
 
         with telemetry.span("parallel.spmv", threads=self.nthreads):

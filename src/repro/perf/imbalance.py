@@ -1,0 +1,183 @@
+"""Per-thread load attribution from the executor's recorded spans.
+
+The parallel executors wrap every thread's slice of every call in a
+``parallel.chunk`` span (attrs: ``thread``, ``lo``, ``hi``, ``nnz``,
+``kind``) nested under one ``parallel.spmv`` span per call.  This
+module replays those spans -- from a live
+:class:`~repro.telemetry.core.Collector` or a parsed JSONL trace --
+into per-call balance records:
+
+* **busy time** per thread (the chunk span's duration);
+* **barrier wait** per thread (call end minus that thread's chunk
+  end -- how long the thread idled for the stragglers);
+* **time imbalance** (busiest / mean busy) against the partitioner's
+  **nnz imbalance** (from the chunk's nnz attrs), whose quotient is
+  the ``nnz_vs_time`` ratio: ~1.0 means wall time tracked the static
+  nnz balance, i.e. the paper's partitioning assumption held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, is_dataclass
+from typing import Any, Iterable
+
+
+def _as_dicts(events: Iterable[Any]) -> list[dict]:
+    """Normalize Collector Events / JSONL dicts into plain dicts."""
+    out = []
+    for ev in events:
+        out.append(asdict(ev) if is_dataclass(ev) else dict(ev))
+    return out
+
+
+@dataclass(frozen=True)
+class CallBalance:
+    """Thread balance of one multithreaded SpMV call."""
+
+    ts_us: float
+    dur_us: float
+    busy_us: dict[int, float]
+    barrier_wait_us: dict[int, float]
+    nnz: dict[int, float]
+
+    @property
+    def time_imbalance(self) -> float:
+        """Busiest thread's busy time over the mean busy time."""
+        if not self.busy_us:
+            return 1.0
+        vals = list(self.busy_us.values())
+        mean = sum(vals) / len(vals)
+        return max(vals) / mean if mean > 0 else 1.0
+
+    @property
+    def nnz_imbalance(self) -> float:
+        """Static partitioner balance over the same threads."""
+        if not self.nnz:
+            return 1.0
+        vals = list(self.nnz.values())
+        mean = sum(vals) / len(vals)
+        return max(vals) / mean if mean > 0 else 1.0
+
+    @property
+    def nnz_vs_time(self) -> float:
+        """time imbalance / nnz imbalance (~1.0: time tracked nnz)."""
+        nnz_imb = self.nnz_imbalance
+        return self.time_imbalance / nnz_imb if nnz_imb > 0 else 1.0
+
+    @property
+    def total_barrier_wait_us(self) -> float:
+        return sum(self.barrier_wait_us.values())
+
+
+@dataclass(frozen=True)
+class ParallelReport:
+    """Aggregate over every multithreaded call in a trace."""
+
+    calls: tuple[CallBalance, ...]
+
+    @property
+    def ncalls(self) -> int:
+        return len(self.calls)
+
+    @property
+    def mean_time_imbalance(self) -> float:
+        if not self.calls:
+            return 1.0
+        return sum(c.time_imbalance for c in self.calls) / len(self.calls)
+
+    @property
+    def mean_nnz_vs_time(self) -> float:
+        if not self.calls:
+            return 1.0
+        return sum(c.nnz_vs_time for c in self.calls) / len(self.calls)
+
+    @property
+    def total_barrier_wait_us(self) -> float:
+        return sum(c.total_barrier_wait_us for c in self.calls)
+
+
+def call_balances(events: Iterable[Any]) -> list[CallBalance]:
+    """Pair each ``parallel.spmv`` span with its ``parallel.chunk`` children.
+
+    Chunks belong to the innermost enclosing call by time containment
+    (spans are recorded at exit, so a call's chunks appear before it in
+    the stream but always inside its interval).
+    """
+    evs = _as_dicts(events)
+    calls = [e for e in evs if e["kind"] == "span" and e["name"] == "parallel.spmv"]
+    chunks = [e for e in evs if e["kind"] == "span" and e["name"] == "parallel.chunk"]
+    out: list[CallBalance] = []
+    claimed: set[int] = set()
+    # Narrower calls first, so nested/overlapping traces claim inner-most.
+    for call in sorted(calls, key=lambda e: e["dur_us"]):
+        c_start, c_end = call["ts_us"], call["ts_us"] + call["dur_us"]
+        busy: dict[int, float] = {}
+        waits: dict[int, float] = {}
+        nnz: dict[int, float] = {}
+        for i, ch in enumerate(chunks):
+            if i in claimed:
+                continue
+            start, end = ch["ts_us"], ch["ts_us"] + ch["dur_us"]
+            if start < c_start - 1e-9 or end > c_end + 1e-9:
+                continue
+            claimed.add(i)
+            t = int(ch["attrs"].get("thread", ch["tid"]))
+            busy[t] = busy.get(t, 0.0) + ch["dur_us"]
+            waits[t] = max(0.0, c_end - end)
+            if "nnz" in ch["attrs"]:
+                nnz[t] = nnz.get(t, 0.0) + float(ch["attrs"]["nnz"])
+        out.append(
+            CallBalance(
+                ts_us=c_start,
+                dur_us=call["dur_us"],
+                busy_us=busy,
+                barrier_wait_us=waits,
+                nnz=nnz,
+            )
+        )
+    out.sort(key=lambda c: c.ts_us)
+    return out
+
+
+def summarize_parallel(events: Iterable[Any]) -> ParallelReport:
+    """Aggregate every multithreaded call found in *events*."""
+    return ParallelReport(calls=tuple(call_balances(events)))
+
+
+def format_report(report: ParallelReport) -> str:
+    """Aligned text rendering (the ``profile`` subcommand's appendix)."""
+    lines = [
+        f"parallel calls: {report.ncalls}, "
+        f"mean time imbalance {report.mean_time_imbalance:.3f}, "
+        f"mean nnz-vs-time {report.mean_nnz_vs_time:.3f}, "
+        f"barrier wait {report.total_barrier_wait_us / 1e3:.3f} ms total"
+    ]
+    for i, call in enumerate(report.calls):
+        lines.append(
+            f"  call {i}: {call.dur_us / 1e3:.3f} ms, "
+            f"{len(call.busy_us)} threads, "
+            f"imbalance {call.time_imbalance:.3f}, "
+            f"nnz-vs-time {call.nnz_vs_time:.3f}, "
+            f"wait {call.total_barrier_wait_us / 1e3:.3f} ms"
+        )
+    return "\n".join(lines)
+
+
+def thread_timelines(
+    events: Iterable[Any],
+) -> dict[int, list[tuple[float, float, str]]]:
+    """Span lanes per OS thread id: ``{tid: [(ts_us, dur_us, name)]}``.
+
+    The dashboard's timeline renderer consumes this; every span kind is
+    included so single-threaded phases (encode, simulate) show too.
+    """
+    lanes: dict[int, list[tuple[float, float, str]]] = {}
+    for ev in _as_dicts(events):
+        if ev["kind"] != "span":
+            continue
+        lanes.setdefault(int(ev["tid"]), []).append(
+            (float(ev["ts_us"]), float(ev["dur_us"]), str(ev["name"]))
+        )
+    for spans in lanes.values():
+        spans.sort()
+    return lanes

@@ -174,8 +174,28 @@ def span_stats(collector: Collector) -> dict[str, dict[str, float]]:
     return stats
 
 
+def counter_breakdown(
+    counters: dict[str, float],
+) -> dict[str, dict[str, float]]:
+    """Counters regrouped by base name: ``{base: {full_key: value}}``.
+
+    ``plan.hit{format=csr-du}`` and ``plan.hit{format=csr-vi}`` share
+    the base ``plan.hit``; summing a base's values gives its total
+    across labels.
+    """
+    groups: dict[str, dict[str, float]] = {}
+    for key, value in counters.items():
+        base = key.split("{", 1)[0]
+        groups.setdefault(base, {})[key] = value
+    return groups
+
+
 def summary(collector: Collector, *, top: int = 20) -> str:
-    """Plain-text report: top spans by total time, counters, gauges."""
+    """Plain-text report: top spans by total time, counters, gauges.
+
+    *top* caps the span table; counters print one total per base name
+    with the per-label keys indented beneath it.
+    """
     lines: list[str] = []
     stats = span_stats(collector)
     lines.append(f"--- telemetry summary ({len(collector)} events) ---")
@@ -193,8 +213,13 @@ def summary(collector: Collector, *, top: int = 20) -> str:
     if collector.counters:
         lines.append("")
         lines.append("counters")
-        for key in sorted(collector.counters):
-            lines.append(f"  {key:<48} {collector.counters[key]:>14g}")
+        for base, keyed in sorted(counter_breakdown(collector.counters).items()):
+            if len(keyed) == 1 and base in keyed:
+                lines.append(f"  {base:<48} {keyed[base]:>14g}")
+                continue
+            lines.append(f"  {base:<48} {sum(keyed.values()):>14g}")
+            for key in sorted(keyed):
+                lines.append(f"    {key:<46} {keyed[key]:>14g}")
     if collector.gauges:
         lines.append("")
         lines.append("gauges")

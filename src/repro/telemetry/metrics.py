@@ -34,7 +34,14 @@ name                           kind     meaning / labels
                                         ``hi`` (row/col-block bounds), ``kind``
 ``partition.imbalance``        gauge    max/mean nnz per thread of the last split
 ``parallel.spmv``              span     one multithreaded SpMV call; ``threads``
-``parallel.worker``            span     one worker's slice; ``thread``
+``parallel.chunk``             span     one thread's chunk of one call;
+                                        ``thread``, ``lo``, ``hi``, ``nnz``,
+                                        ``kind`` (row/column/block)
+``perf.attribution``           counter  one attribution record per bench cell;
+                                        labels ``format``, ``threads``,
+                                        ``placement``; numeric payload
+                                        (bytes_per_iter, effective_gbps,
+                                        roofline_pct, imbalances, ...) in attrs
 ``sim.spmv``                   span     machine-model prediction; ``format``,
                                         ``threads``, ``placement``
 ``sim.bound``                  counter  binding constraint tally; ``bound``
@@ -75,7 +82,8 @@ KNOWN_EVENTS = frozenset(
         "partition.nnz",
         "partition.imbalance",
         "parallel.spmv",
-        "parallel.worker",
+        "parallel.chunk",
+        "perf.attribution",
         "sim.spmv",
         "sim.bound",
         "sim.dram_bytes",
@@ -155,6 +163,71 @@ def record_partition(
         peak = max(peak, nnz)
     mean = total / n if n else 0.0
     c.gauge("partition.imbalance", peak / mean if mean else 1.0, kind=kind)
+
+
+def record_attribution(
+    *,
+    matrix_id: int,
+    format_name: str,
+    threads: int,
+    placement: str,
+    time_s: float,
+    mflops: float,
+    bytes_per_iter: int,
+    index_bytes: int,
+    value_bytes: int,
+    vector_bytes: int,
+    flops_per_byte: float,
+    effective_gbps: float,
+    dram_bytes: float,
+    attainable_mflops: float,
+    roofline_pct: float,
+    bound: str,
+    nnz_imbalance: float,
+    time_imbalance: float,
+    compression_ratio: float,
+    speedup_vs_csr: float,
+    plan_hits: int,
+    plan_misses: int,
+) -> None:
+    """One performance-attribution record for a measured bench cell.
+
+    Labels (``format``, ``threads``, ``placement``) key the aggregate
+    counter (cells attributed per configuration); the numeric payload
+    rides on the event so trace consumers -- the HTML dashboard, the
+    smoke checker -- can rebuild the full record from the stream.
+    """
+    c = core.get_collector()
+    if c is None:
+        return
+    c.count(
+        "perf.attribution",
+        1,
+        extra={
+            "matrix_id": int(matrix_id),
+            "time_s": float(time_s),
+            "mflops": float(mflops),
+            "bytes_per_iter": int(bytes_per_iter),
+            "index_bytes": int(index_bytes),
+            "value_bytes": int(value_bytes),
+            "vector_bytes": int(vector_bytes),
+            "flops_per_byte": float(flops_per_byte),
+            "effective_gbps": float(effective_gbps),
+            "dram_bytes": float(dram_bytes),
+            "attainable_mflops": float(attainable_mflops),
+            "roofline_pct": float(roofline_pct),
+            "bound": str(bound),
+            "nnz_imbalance": float(nnz_imbalance),
+            "time_imbalance": float(time_imbalance),
+            "compression_ratio": float(compression_ratio),
+            "speedup_vs_csr": float(speedup_vs_csr),
+            "plan_hits": int(plan_hits),
+            "plan_misses": int(plan_misses),
+        },
+        format=format_name,
+        threads=threads,
+        placement=placement,
+    )
 
 
 def record_sim_result(

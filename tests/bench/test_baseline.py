@@ -1,0 +1,137 @@
+"""The perf regression gate: noise bands, snapshots, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.baseline import (
+    DEFAULT_MAX_RUNS,
+    check_run,
+    load_history,
+    main,
+    new_history,
+    snapshot,
+    validate_history,
+)
+
+
+def run_with(time_value: float, extra: float = 50.0) -> dict:
+    return {
+        "experiments": {
+            "table2": {"speedups": {"8|close": {"MS": [time_value, 2.0]}}},
+            "fig7": {"series": [extra]},
+        }
+    }
+
+
+class TestSnapshotAndCheck:
+    def test_empty_history_flags_nothing(self):
+        assert check_run(new_history(), run_with(1.0)) == []
+
+    def test_clean_rerun_passes(self):
+        history = new_history()
+        for t in (1.00, 1.02, 0.98):
+            snapshot(history, run_with(t))
+        assert check_run(history, run_with(1.01)) == []
+
+    def test_injected_regression_flagged(self):
+        history = new_history()
+        for t in (1.00, 1.02, 0.98):
+            snapshot(history, run_with(t))
+        regs = check_run(history, run_with(1.6))
+        assert len(regs) == 1
+        assert "MS[0]" in regs[0].path
+        assert regs[0].value == pytest.approx(1.6)
+        assert regs[0].mean == pytest.approx(1.0)
+
+    def test_noisy_cell_gets_wider_band(self):
+        """A cell with 20% historical spread tolerates a move the 2%
+        fixed tolerance alone would flag."""
+        history = new_history()
+        for t in (0.8, 1.2, 1.0, 0.9, 1.1):
+            snapshot(history, run_with(t))
+        assert check_run(history, run_with(1.25), tolerance=0.02, k=3.0) == []
+        assert check_run(history, run_with(2.0), tolerance=0.02, k=3.0)
+
+    def test_exact_cell_zero_stdev(self):
+        history = new_history()
+        for _ in range(3):
+            snapshot(history, run_with(1.0))
+        assert check_run(history, run_with(1.0)) == []
+        assert check_run(history, run_with(1.05))  # beyond 2% of mean
+
+    def test_window_bounded(self):
+        history = new_history()
+        for i in range(3 * DEFAULT_MAX_RUNS):
+            snapshot(history, run_with(1.0 + i * 1e-9))
+        assert all(
+            len(v) == DEFAULT_MAX_RUNS for v in history["cells"].values()
+        )
+
+    def test_new_cells_ignored_until_snapshotted(self):
+        history = new_history()
+        snapshot(history, run_with(1.0))
+        grown = run_with(1.0)
+        grown["experiments"]["table9"] = {"x": 99.0}
+        assert check_run(history, grown) == []
+
+
+class TestValidation:
+    def test_fresh_history_valid(self):
+        assert validate_history(new_history()) == []
+
+    def test_bad_schema_and_cells(self):
+        assert validate_history({"schema": 99, "cells": {}})
+        assert validate_history({"schema": 1, "cells": {"p": []}})
+        assert validate_history({"schema": 1, "cells": {"p": [1, "x"]}})
+        assert validate_history({"schema": 1, "cells": "nope"})
+
+    def test_load_missing_is_empty(self, tmp_path):
+        h = load_history(tmp_path / "absent.json")
+        assert h["cells"] == {}
+
+    def test_load_invalid_raises(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": 99, "cells": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_history(p)
+
+
+class TestCLI:
+    """Acceptance: exit 1 on injected regression, 0 on clean rerun."""
+
+    @pytest.fixture
+    def paths(self, tmp_path):
+        run = tmp_path / "run.json"
+        run.write_text(json.dumps(run_with(1.0)))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(run_with(1.7)))
+        return {"run": str(run), "bad": str(bad), "hist": str(tmp_path / "h.json")}
+
+    def test_gate_lifecycle(self, paths, capsys):
+        # First snapshot: nothing to check yet, history created.
+        assert main([paths["run"], "--history", paths["hist"], "--snapshot"]) == 0
+        # Clean rerun passes.
+        assert main([paths["run"], "--history", paths["hist"]]) == 0
+        # Injected regression fails and is not snapshotted.
+        assert main([paths["bad"], "--history", paths["hist"], "--snapshot"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "not snapshotting" in out
+        # History unchanged by the regressed run: clean still passes.
+        assert main([paths["run"], "--history", paths["hist"]]) == 0
+
+    def test_check_schema_self_test(self, paths, capsys):
+        assert main(["--check-schema", "--history", paths["hist"]]) == 0
+        assert "self-test OK" in capsys.readouterr().out
+
+    def test_check_schema_rejects_corrupt_history(self, tmp_path, capsys):
+        hist = tmp_path / "h.json"
+        hist.write_text(json.dumps({"schema": 0, "cells": {}}))
+        assert main(["--check-schema", "--history", str(hist)]) == 1
+
+    def test_run_required_without_check_schema(self):
+        with pytest.raises(SystemExit):
+            main(["--history", "x.json"])

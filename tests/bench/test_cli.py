@@ -93,3 +93,89 @@ class TestTelemetryCLI:
     def test_profile_without_experiment_errors(self):
         with pytest.raises(SystemExit):
             main(["profile"])
+
+class TestReportHTML:
+    def test_writes_self_contained_report(self, tmp_path, capsys):
+        from html.parser import HTMLParser
+
+        out = tmp_path / "r.html"
+        rc = main(
+            [
+                "report-html",
+                "table2",
+                "--scale",
+                "0.015625",
+                "--limit",
+                "1",
+                "--html",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert "[dashboard] wrote" in capsys.readouterr().out
+        text = out.read_text()
+        parser = HTMLParser()
+        parser.feed(text)  # must not blow up
+        assert "Attribution" in text
+        assert "<script" not in text and "<link" not in text
+
+    def test_baseline_deltas_section(self, tmp_path, capsys):
+        run = tmp_path / "run.json"
+        rc = main(
+            [
+                "table2",
+                "--scale",
+                "0.015625",
+                "--limit",
+                "1",
+                "--json",
+                str(run),
+            ]
+        )
+        assert rc == 0
+        out = tmp_path / "r.html"
+        rc = main(
+            [
+                "report-html",
+                "table2",
+                "--scale",
+                "0.015625",
+                "--limit",
+                "1",
+                "--html",
+                str(out),
+                "--baseline",
+                str(run),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert "Baseline deltas" in out.read_text()
+
+    def test_report_html_without_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["report-html"])
+
+
+class TestProfileTop:
+    def test_top_caps_span_rows(self, capsys):
+        rc = main(
+            ["profile", "table2", "--scale", "0.015625", "--limit", "1", "--top", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "showing 3" in out
+
+    def test_counter_breakdown_grouped(self, capsys):
+        rc = main(["profile", "table2", "--scale", "0.015625", "--limit", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Base totals with indented per-label lines.
+        assert "perf.attribution" in out
+        assert "perf.attribution{format=csr" in out
+
+
+class TestPerfGateDelegation:
+    def test_check_schema_through_bench_cli(self, capsys):
+        assert main(["perf-gate", "--check-schema"]) == 0
+        assert "self-test OK" in capsys.readouterr().out

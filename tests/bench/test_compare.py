@@ -77,3 +77,44 @@ class TestCLI:
         other = tmp_path / "changed.json"
         other.write_text(json.dumps(data))
         assert main([str(run_file), str(other)]) == 1
+
+
+class TestStructureDiff:
+    def test_added_and_removed_directions(self):
+        from repro.bench.compare import structure_diff
+
+        old = {"experiments": {"t": {"kept": 1.0, "gone": 2.0}}}
+        new = {"experiments": {"t": {"kept": 1.0, "fresh": 3.0}}}
+        added, removed = structure_diff(old, new)
+        assert any("fresh" in p for p in added)
+        assert any("gone" in p for p in removed)
+        assert not any("kept" in p for p in added + removed)
+
+    def test_identical_runs_empty(self):
+        from repro.bench.compare import structure_diff
+
+        run = {"experiments": {"t": {"a": 1.0}}}
+        assert structure_diff(run, run) == ([], [])
+
+    def test_format_comparison_labels_directions(self):
+        text = format_comparison(
+            [], [], tolerance=0.05, added=["e.new_path"], removed=["e.old_path"]
+        )
+        assert "added (only in new run)" in text
+        assert "e.new_path" in text
+        assert "removed (only in old run)" in text
+        assert "e.old_path" in text
+
+    def test_cli_reports_directions(self, run_file, tmp_path, capsys):
+        import json
+
+        data = json.loads(run_file.read_text())
+        key = next(iter(data["experiments"]["table4"]["rows"]))
+        del data["experiments"]["table4"]["rows"][key]
+        data["experiments"]["extra"] = {"x": 1.0}
+        other = tmp_path / "grown.json"
+        other.write_text(json.dumps(data))
+        assert main([str(run_file), str(other)]) == 1
+        out = capsys.readouterr().out
+        assert "added (only in new run)" in out
+        assert "removed (only in old run)" in out

@@ -1,0 +1,124 @@
+"""Per-thread balance recovery from parallel.spmv/parallel.chunk spans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+from repro.parallel.executor import ParallelSpMV
+from repro.perf.imbalance import (
+    call_balances,
+    format_report,
+    summarize_parallel,
+    thread_timelines,
+)
+from tests.conftest import random_sparse_dense
+
+
+def _span(name, ts, dur, tid=1, **attrs):
+    return {
+        "kind": "span",
+        "name": name,
+        "ts_us": float(ts),
+        "dur_us": float(dur),
+        "value": 0.0,
+        "thread": "w",
+        "tid": tid,
+        "depth": 0,
+        "attrs": attrs,
+    }
+
+
+class TestSyntheticTrace:
+    """Hand-built spans with exact expected busy/wait/imbalance."""
+
+    @pytest.fixture
+    def events(self):
+        # One call [0, 100]; thread 0 busy [2, 42] (40us, 600 nnz),
+        # thread 1 busy [2, 82] (80us, 400 nnz).  Chunks precede the
+        # call in the stream, as the collector records spans at exit.
+        return [
+            _span("parallel.chunk", 2, 40, tid=11, thread=0, nnz=600),
+            _span("parallel.chunk", 2, 80, tid=12, thread=1, nnz=400),
+            _span("parallel.spmv", 0, 100, tid=10, threads=2),
+        ]
+
+    def test_busy_and_barrier_wait(self, events):
+        (call,) = call_balances(events)
+        assert call.busy_us == {0: 40.0, 1: 80.0}
+        # Call ends at 100; thread 0's chunk ends at 42, thread 1's at 82.
+        assert call.barrier_wait_us == {0: 58.0, 1: 18.0}
+        assert call.total_barrier_wait_us == 76.0
+
+    def test_imbalance_ratios(self, events):
+        (call,) = call_balances(events)
+        assert call.time_imbalance == pytest.approx(80 / 60)
+        assert call.nnz_imbalance == pytest.approx(600 / 500)
+        assert call.nnz_vs_time == pytest.approx((80 / 60) / (600 / 500))
+
+    def test_two_calls_claim_their_own_chunks(self):
+        events = [
+            _span("parallel.chunk", 1, 8, thread=0, nnz=10),
+            _span("parallel.spmv", 0, 10, threads=1),
+            _span("parallel.chunk", 21, 5, thread=0, nnz=10),
+            _span("parallel.spmv", 20, 10, threads=1),
+        ]
+        calls = call_balances(events)
+        assert len(calls) == 2
+        assert calls[0].busy_us == {0: 8.0}
+        assert calls[1].busy_us == {0: 5.0}
+
+    def test_report_aggregates(self, events):
+        report = summarize_parallel(events)
+        assert report.ncalls == 1
+        assert report.mean_time_imbalance == pytest.approx(80 / 60)
+        text = format_report(report)
+        assert "parallel calls: 1" in text
+        assert "imbalance" in text
+
+    def test_empty_trace(self):
+        report = summarize_parallel([])
+        assert report.ncalls == 0
+        assert report.mean_time_imbalance == 1.0
+        assert report.mean_nnz_vs_time == 1.0
+
+
+class TestThreadTimelines:
+    def test_lanes_keyed_by_tid(self):
+        events = [
+            _span("parallel.chunk", 5, 10, tid=3),
+            _span("parallel.chunk", 1, 2, tid=3),
+            _span("parallel.spmv", 0, 20, tid=2),
+            {
+                "kind": "counter",
+                "name": "c",
+                "ts_us": 0.0,
+                "dur_us": 0.0,
+                "value": 1.0,
+                "thread": "m",
+                "tid": 3,
+                "depth": 0,
+                "attrs": {},
+            },
+        ]
+        lanes = thread_timelines(events)
+        assert set(lanes) == {2, 3}
+        assert lanes[3] == [(1.0, 2.0, "parallel.chunk"), (5.0, 10.0, "parallel.chunk")]
+
+
+class TestRealExecutorTrace:
+    def test_live_collector_round_trip(self, collector):
+        dense = random_sparse_dense(100, 100, seed=9)
+        csr = CSRMatrix.from_dense(dense)
+        x = np.random.default_rng(2).random(100)
+        with ParallelSpMV(csr, 4) as par:
+            for _ in range(2):
+                par(x)
+        report = summarize_parallel(collector.snapshot())
+        assert report.ncalls == 2
+        for call in report.calls:
+            assert len(call.busy_us) == 4
+            assert sum(call.nnz.values()) == csr.nnz
+            assert call.time_imbalance >= 1.0
+            assert all(w >= 0 for w in call.barrier_wait_us.values())

@@ -190,12 +190,17 @@ class TestThreadSafety:
                 got = par(x)
         assert np.allclose(got, expected, rtol=1e-13, atol=1e-13)
         events = collector.snapshot()
-        workers = [ev for ev in events if ev.name == "parallel.worker"]
+        workers = [ev for ev in events if ev.name == "parallel.chunk"]
         calls = [ev for ev in events if ev.name == "parallel.spmv"]
         assert len(calls) == 3
         assert len(workers) == 12
         assert {ev.attrs["thread"] for ev in workers} == {0, 1, 2, 3}
-        # Worker spans came from distinct OS threads.
+        # Every chunk span carries the partitioner's census for the
+        # imbalance analyzer: row bounds plus assigned nonzeros.
+        for ev in workers:
+            assert {"lo", "hi", "nnz", "kind"} <= set(ev.attrs)
+        assert sum(ev.attrs["nnz"] for ev in workers) == 3 * csr.nnz
+        # Chunk spans came from distinct OS threads.
         assert len({ev.tid for ev in workers}) > 1
         # Partition census was recorded at construction.
         assert any(ev.name == "partition.nnz" for ev in events)

@@ -1,0 +1,114 @@
+"""Disabled telemetry is free: zero collector calls, bit-identical math.
+
+The disabled fast path is a module-level ``None`` check, so no
+:class:`Collector` method may execute while telemetry is off -- these
+tests spy on the class itself to prove instrumented code paths
+(encode, kernels, the parallel executor, the bench harness) never
+reach it, and that enabling tracing changes no numeric output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.bench.harness import ExperimentConfig, run_format_matrix
+from repro.formats.conversions import convert
+from repro.formats.csr import CSRMatrix
+from repro.parallel.executor import ParallelSpMV
+from repro.telemetry import Collector, set_collector
+from repro.telemetry.core import _Span
+from tests.conftest import random_sparse_dense
+
+
+@pytest.fixture
+def spy(monkeypatch):
+    """Count every Collector/_Span method invocation."""
+    calls = {"n": 0}
+
+    def wrap(cls, name):
+        original = getattr(cls, name)
+
+        def counted(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(cls, name, counted)
+
+    for name in ("span", "count", "gauge"):
+        wrap(Collector, name)
+    for name in ("__enter__", "__exit__", "add"):
+        wrap(_Span, name)
+    return calls
+
+
+class TestZeroCollectorCalls:
+    def test_encode_and_spmv(self, spy):
+        assert telemetry.get_collector() is None
+        dense = random_sparse_dense(50, 50, seed=4)
+        csr = CSRMatrix.from_dense(dense)
+        x = np.random.default_rng(0).random(50)
+        for fmt in ("csr", "csr-du", "csr-vi", "csr-du-vi"):
+            convert(csr, fmt).spmv(x)
+        assert spy["n"] == 0
+
+    def test_parallel_executor(self, spy):
+        dense = random_sparse_dense(60, 60, seed=5)
+        csr = CSRMatrix.from_dense(dense)
+        x = np.random.default_rng(1).random(60)
+        with ParallelSpMV(csr, 3) as par:
+            par(x)
+        assert spy["n"] == 0
+
+    def test_bench_cell(self, spy, paper_matrix):
+        run_format_matrix(paper_matrix, "csr-du", ExperimentConfig())
+        assert spy["n"] == 0
+
+    def test_spy_does_fire_when_enabled(self, spy):
+        prev = set_collector(Collector())
+        try:
+            with telemetry.span("probe"):
+                telemetry.count("c")
+        finally:
+            set_collector(prev)
+        assert spy["n"] > 0  # the spy itself works
+
+
+class TestBitIdentical:
+    def _trace(self, fn):
+        prev = set_collector(Collector())
+        try:
+            return fn()
+        finally:
+            set_collector(prev)
+
+    def test_parallel_spmv(self):
+        dense = random_sparse_dense(80, 80, seed=6, quantize=16)
+        csr = CSRMatrix.from_dense(dense)
+        x = np.random.default_rng(3).random(80)
+
+        def run():
+            with ParallelSpMV(csr, 4, format_name="csr-du-vi") as par:
+                return par(x)
+
+        assert np.array_equal(run(), self._trace(run))
+
+    def test_bench_results(self, paper_matrix):
+        def run():
+            res = run_format_matrix(
+                paper_matrix, "csr-vi", ExperimentConfig(), matrix_id=1
+            )
+            return res.times, res.mflops, res.attributions
+
+        times_off, mflops_off, att_off = run()
+        times_on, mflops_on, att_on = self._trace(run)
+        assert times_off == times_on
+        assert mflops_off == mflops_on
+        # Attributions identical except the plan-counter fields, which
+        # by design only populate while tracing.
+        for key, off in att_off.items():
+            on = att_on[key]
+            assert off.bytes_per_iter == on.bytes_per_iter
+            assert off.roofline_pct == on.roofline_pct
+            assert off.time_s == on.time_s

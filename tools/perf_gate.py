@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""CI wrapper for the perf regression gate.
+
+Equivalent to ``PYTHONPATH=src python -m repro.bench.baseline ...`` but
+runnable from the repo root without environment setup::
+
+    python tools/perf_gate.py --check-schema
+    python tools/perf_gate.py run.json --history perf_history.json --snapshot
+
+Exit status 1 on any regression or schema/self-test failure.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.baseline import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

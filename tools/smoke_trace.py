@@ -8,10 +8,16 @@ and checks that
 * every event name belongs to the documented vocabulary
   (:data:`repro.telemetry.metrics.KNOWN_EVENTS`), and
 * the trace contains the load-bearing signals: per-matrix spans,
-  CSR-DU unit-width histograms, and per-thread nnz counters.
+  CSR-DU unit-width histograms, per-thread nnz counters, and one
+  ``perf.attribution`` record per bench cell with its full payload.
 
-Exit status 0 means the instrumentation pipeline is healthy; the pytest
-suite runs :func:`run` directly so regressions fail tier-1.
+A second, self-contained check runs a small multithreaded SpMV under a
+scoped collector and validates the ``parallel.chunk`` spans (the bench
+trace above uses the model clock, which never spins up the executor).
+
+Exit status 0 means the instrumentation pipeline is healthy; any
+failure prints the offending event.  The pytest suite runs :func:`run`
+directly so regressions fail tier-1.
 
 Run:  PYTHONPATH=src python tools/smoke_trace.py [--scale 0.03125] [--limit 2]
 """
@@ -19,6 +25,7 @@ Run:  PYTHONPATH=src python tools/smoke_trace.py [--scale 0.03125] [--limit 2]
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 import tempfile
@@ -41,8 +48,126 @@ REQUIRED_EVENTS = frozenset(
         "partition.nnz",
         "sim.spmv",
         "sim.bound",
+        "perf.attribution",
     }
 )
+
+#: Attributes each event kind must carry (checked on every occurrence).
+REQUIRED_PAYLOADS: dict[str, frozenset] = {
+    "perf.attribution": frozenset(
+        {
+            "format",
+            "threads",
+            "placement",
+            "matrix_id",
+            "time_s",
+            "mflops",
+            "bytes_per_iter",
+            "index_bytes",
+            "value_bytes",
+            "vector_bytes",
+            "flops_per_byte",
+            "effective_gbps",
+            "roofline_pct",
+            "bound",
+            "nnz_imbalance",
+            "time_imbalance",
+            "compression_ratio",
+        }
+    ),
+    "parallel.chunk": frozenset({"thread", "lo", "hi", "nnz", "kind"}),
+}
+
+
+def _check_payloads(events: list[dict]) -> int:
+    """Every event of a payload-bearing name carries its required attrs."""
+    for i, event in enumerate(events):
+        required = REQUIRED_PAYLOADS.get(event["name"])
+        if required is None:
+            continue
+        missing = required - set(event["attrs"])
+        if missing:
+            print(
+                f"smoke_trace: event {i} ({event['name']}) missing payload "
+                f"keys {sorted(missing)}: {event!r}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def check_parallel_chunks(nthreads: int = 4, calls: int = 2) -> int:
+    """Trace a small multithreaded SpMV; validate its chunk spans.
+
+    Runs under a scoped collector (the bench run above uses the model
+    clock and never executes :class:`~repro.parallel.executor.ParallelSpMV`),
+    so the ``parallel.chunk`` instrumentation is exercised end to end:
+    schema, payload keys, nnz census adding up, and distinct threads.
+    """
+    import numpy as np
+
+    from repro import telemetry
+    from repro.formats.csr import CSRMatrix
+    from repro.parallel.executor import ParallelSpMV
+
+    rng = np.random.default_rng(17)
+    dense = (rng.random((96, 96)) < 0.1) * rng.random((96, 96))
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.random(96)
+    expected = csr.spmv(x)
+    prev = telemetry.set_collector(telemetry.Collector())
+    try:
+        with ParallelSpMV(csr, nthreads, format_name="csr-du") as par:
+            for _ in range(calls):
+                got = par(x)
+        events = [
+            dataclasses.asdict(ev)
+            for ev in telemetry.get_collector().snapshot()
+        ]
+    finally:
+        telemetry.set_collector(prev)
+    if not np.allclose(got, expected, rtol=1e-13, atol=1e-13):
+        print("smoke_trace: traced parallel SpMV diverged", file=sys.stderr)
+        return 1
+    for i, event in enumerate(events):
+        try:
+            validate_event(event)
+        except TelemetryError as exc:
+            print(
+                f"smoke_trace: parallel event {i} invalid: {exc}: {event!r}",
+                file=sys.stderr,
+            )
+            return 1
+    unknown = {e["name"] for e in events} - KNOWN_EVENTS
+    if unknown:
+        print(
+            f"smoke_trace: undocumented parallel event names {sorted(unknown)}",
+            file=sys.stderr,
+        )
+        return 1
+    if _check_payloads(events):
+        return 1
+    chunks = [e for e in events if e["name"] == "parallel.chunk"]
+    if len(chunks) != nthreads * calls:
+        print(
+            f"smoke_trace: expected {nthreads * calls} parallel.chunk spans, "
+            f"got {len(chunks)}",
+            file=sys.stderr,
+        )
+        return 1
+    total_nnz = sum(e["attrs"]["nnz"] for e in chunks)
+    if total_nnz != calls * csr.nnz:
+        print(
+            f"smoke_trace: chunk nnz census {total_nnz} != "
+            f"{calls} calls x {csr.nnz} nnz",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"smoke_trace: parallel check OK ({len(chunks)} chunk spans, "
+        f"{len(events)} events)"
+    )
+    return 0
 
 
 def run(
@@ -99,8 +224,10 @@ def run(
                 file=sys.stderr,
             )
             return 1
+        if _check_payloads(events):
+            return 1
         print(f"smoke_trace: {len(events)} events, all valid")
-        return 0
+        return check_parallel_chunks()
     finally:
         if owned and path is not None and os.path.exists(path):
             os.unlink(path)
