@@ -171,18 +171,32 @@ def check_run(
 def _self_test() -> list[str]:
     """End-to-end check of the gate's own logic on synthetic data.
 
-    Builds a three-run history of one noisy and one exact cell, then
+    Builds a three-run history of one noisy and one exact cell (plus an
+    encode-throughput cell in the ``BENCH_encode.json`` shape), then
     asserts (a) a clean fourth run passes, (b) a run with an injected
-    regression on the exact cell fails, (c) snapshotting keeps the
-    window bounded.  Returns failure descriptions (empty = pass).
+    regression on the exact cell fails, (c) a collapsed encode speedup
+    is flagged, (d) snapshotting keeps the window bounded.  Returns
+    failure descriptions (empty = pass).
     """
     failures: list[str] = []
 
-    def run_with(time_value: float, mflops: float = 100.0) -> dict:
+    def run_with(
+        time_value: float, mflops: float = 100.0, encode_speedup: float = 25.0
+    ) -> dict:
         return {
             "experiments": {
                 "table2": {"cells": {"1|csr|1|close": {"time": time_value}}},
                 "fig7": {"mflops": mflops},
+                # Same shape benchmarks/microbench_encode.py emits, so
+                # the gate demonstrably covers encode-throughput cells.
+                "encode": {
+                    "cells": {
+                        "banded-100k-bw16": {
+                            "batched_mnnz_per_s": 12.0 * encode_speedup,
+                            "speedup": encode_speedup,
+                        }
+                    }
+                },
             }
         }
 
@@ -206,6 +220,10 @@ def _self_test() -> list[str]:
     exact = check_run(history, run_with(1.0, mflops=90.0))
     if not any("mflops" in r.path for r in exact):
         failures.append("deviation on an exact (zero-stdev) cell not flagged")
+
+    collapsed = check_run(history, run_with(1.0, encode_speedup=1.0))
+    if not any("encode" in r.path and "speedup" in r.path for r in collapsed):
+        failures.append("collapsed encode speedup not flagged")
 
     for _ in range(3 * DEFAULT_MAX_RUNS):
         snapshot(history, run_with(1.0))

@@ -140,6 +140,15 @@ def main(argv: list[str] | None = None) -> int:
             "vectorized, reference); the model clock ignores it"
         ),
     )
+    parser.add_argument(
+        "--encoder",
+        type=str,
+        default="batched",
+        help=(
+            "CSR-DU encode pipeline (batched = vectorized one-pass, "
+            "reference = per-unit CtlWriter); both emit identical bytes"
+        ),
+    )
     parser.add_argument("--out", type=str, default=None, help="also write to a file")
     parser.add_argument(
         "--json",
@@ -196,7 +205,9 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("'report-html' needs at least one experiment to run")
     if "all" in names:
         names = list(_EXPERIMENTS)
-    config = ExperimentConfig(scale=args.scale, kernel=args.kernel)
+    config = ExperimentConfig(
+        scale=args.scale, kernel=args.kernel, encoder=args.encoder
+    )
     trace_on = profile or html_report or args.trace or args.chrome_trace
     prev_collector = (
         telemetry.set_collector(telemetry.Collector()) if trace_on else None

@@ -92,7 +92,7 @@ def _attribution_table(rows: list[dict]) -> str:
         "<th>bytes/iter</th><th>index</th><th>value</th><th>vector</th>"
         "<th>F:B</th><th>GB/s</th><th>roofline</th><th class=l>bound</th>"
         "<th>nnz imb</th><th>t imb</th><th>size vs CSR</th>"
-        "<th>speedup</th><th>plan h/m</th></tr>"
+        "<th>speedup</th><th>plan h/m</th><th>setup (s)</th></tr>"
     )
     body = []
     for r in rows:
@@ -120,6 +120,7 @@ def _attribution_table(rows: list[dict]) -> str:
             f"<td>{float(r.get('compression_ratio', 1.0)):.3f}</td>"
             f"<td>{speedup:.3f}</td>"
             f"<td>{int(r.get('plan_hits', 0))}/{int(r.get('plan_misses', 0))}</td>"
+            f"<td>{float(r.get('setup_s', 0.0)):.3e}</td>"
             "</tr>"
         )
     return f"<table>{head}{''.join(body)}</table>"

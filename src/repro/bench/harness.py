@@ -15,8 +15,10 @@ it to each requested format once, and fans out over thread counts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro.compress.encode_cache import ConvertCache, cached_convert
 from repro.errors import MachineModelError, ReproError
 from repro.formats.base import SparseMatrix, Storage
 from repro.formats.conversions import convert
@@ -62,6 +64,11 @@ class ExperimentConfig:
     #: ``"vectorized"``, ``"reference"``); the model clock predicts from
     #: memory traffic and ignores it.
     kernel: str = "cached"
+    #: Encode pipeline for the CSR-DU conversions (``"batched"`` -- the
+    #: vectorized one-pass encoder -- or ``"reference"``, the per-unit
+    #: CtlWriter walk).  Mirrors the ``kernel`` axis on the setup side;
+    #: both produce byte-identical streams.
+    encoder: str = "batched"
 
     def scaled_machine(self) -> MachineSpec:
         return self.machine if self.scale == 1.0 else self.machine.scaled(self.scale)
@@ -110,6 +117,7 @@ def run_format_matrix(
     matrix_id: int = -1,
     configs: tuple[tuple[int, str], ...] = TABLE2_CONFIGS,
     csr_storage: Storage | None = None,
+    convert_cache: ConvertCache | None = None,
     **format_kwargs,
 ) -> MatrixResult:
     """Measure one matrix in one format across thread configurations.
@@ -119,11 +127,19 @@ def run_format_matrix(
     several formats of the same matrix should compute it once and pass
     it down -- :func:`run_set` does -- since re-deriving it per format
     re-encodes the whole matrix; when omitted it is computed here.
+    ``convert_cache`` keys the conversion on (matrix, format, kwargs)
+    so repeated cells over one matrix encode once; the setup wall time
+    actually paid lands in each attribution's ``setup_s``.
     """
     with telemetry.span(
         "bench.cell", matrix_id=matrix_id, format=format_name
     ) as cell:
-        converted = convert(matrix, format_name, **format_kwargs)
+        if format_name in ("csr-du", "csr-du-vi"):
+            format_kwargs.setdefault("encoder", config.encoder)
+        setup_t0 = time.perf_counter()
+        converted = cached_convert(
+            matrix, format_name, cache=convert_cache, **format_kwargs
+        )
         from repro.kernels.plan import PLANNABLE_FORMATS, get_plan
 
         # Build the kernel plan once per cell -- the amortized setup
@@ -133,6 +149,7 @@ def run_format_matrix(
         plannable = converted.name in PLANNABLE_FORMATS
         if plannable and (config.clock == "real" or telemetry.enabled()):
             get_plan(converted)
+        setup_s = time.perf_counter() - setup_t0
         machine = config.scaled_machine()
         if csr_storage is None:
             csr_storage = convert(matrix, "csr").storage()
@@ -200,6 +217,7 @@ def run_format_matrix(
                     sim=sim_res,
                     csr_storage=csr_storage,
                     breakdown=breakdowns[threads],
+                    setup_s=setup_s,
                 )
             except MachineModelError:
                 # Formats the byte-layout census cannot split (ellpack,
@@ -239,16 +257,20 @@ def run_set(
     for mid in ids:
         with telemetry.span("bench.matrix", matrix_id=mid):
             matrix = realize(mid, scale=config.scale)
+            # One conversion cache per matrix: cells that re-present the
+            # same (format, kwargs) reuse the encode, and the cache dies
+            # with the matrix (full-scale matrices must not accumulate).
+            cache = ConvertCache()
             # One CSR baseline per matrix: every format's size-reduction
             # figure shares the denominator, so encode it exactly once.
-            csr_storage = convert(matrix, "csr").storage()
+            csr_storage = cached_convert(matrix, "csr", cache=cache).storage()
             if telemetry.enabled() and not any(
                 f.startswith("csr-du") for f in formats
             ):
                 # Tracing asks "what structure does this matrix have?"
                 # even for CSR-only experiments, so record the CSR-DU
                 # unit census (the encode emits the width histogram).
-                convert(matrix, "csr-du")
+                convert(matrix, "csr-du", encoder=config.encoder)
             per_fmt: dict[str, MatrixResult] = {}
             for fmt in formats:
                 per_fmt[fmt] = run_format_matrix(
@@ -258,6 +280,7 @@ def run_set(
                     matrix_id=mid,
                     configs=configs,
                     csr_storage=csr_storage,
+                    convert_cache=cache,
                 )
             # With a CSR baseline in the set, fill in each compressed
             # format's speedup so the attribution records can answer the

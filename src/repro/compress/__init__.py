@@ -3,8 +3,19 @@
 from repro.compress.delta import (
     Unit,
     column_deltas,
+    matrix_deltas,
     split_row_units,
     unitize,
+)
+from repro.compress.encode_batched import (
+    BatchedEncode,
+    encode_ctl_batched,
+    pack_value_index,
+    unit_layout,
+)
+from repro.compress.encode_cache import (
+    ConvertCache,
+    cached_convert,
 )
 from repro.compress.ctl import (
     CtlReader,
@@ -29,8 +40,15 @@ from repro.compress.unique import (
 __all__ = [
     "Unit",
     "column_deltas",
+    "matrix_deltas",
     "split_row_units",
     "unitize",
+    "BatchedEncode",
+    "encode_ctl_batched",
+    "pack_value_index",
+    "unit_layout",
+    "ConvertCache",
+    "cached_convert",
     "CtlReader",
     "CtlWriter",
     "DecodedUnits",

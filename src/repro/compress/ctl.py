@@ -60,6 +60,12 @@ class CtlWriter:
     ``seq_units`` -- which :meth:`getvalue` reports to the telemetry
     collector when one is active (the paper's Table I statistics, per
     encode).
+
+    :meth:`getvalue` *finalizes* the writer: the census is reported
+    exactly once, and both a second ``getvalue()`` and any further
+    ``append()`` raise :class:`~repro.errors.EncodingError`.  (An
+    earlier version silently skipped the census on re-reads, which made
+    double-report bugs undetectable; now misuse is loud.)
     """
 
     def __init__(self) -> None:
@@ -68,10 +74,17 @@ class CtlWriter:
         self.class_counts = [0, 0, 0, 0]
         self.new_rows = 0
         self.seq_units = 0
-        self._reported = False
+        self._finalized = False
+
+    @property
+    def finalized(self) -> bool:
+        """True once :meth:`getvalue` has consumed the writer."""
+        return self._finalized
 
     def append(self, unit: Unit) -> None:
         """Serialize one :class:`~repro.compress.delta.Unit`."""
+        if self._finalized:
+            raise EncodingError("CtlWriter is finalized; cannot append after getvalue")
         usize = unit.usize
         if not 1 <= usize <= 255:
             raise EncodingError(f"unit size {usize} out of [1, 255]")
@@ -103,13 +116,20 @@ class CtlWriter:
             self.seq_units += 1
 
     def getvalue(self) -> bytes:
-        """The finished stream as an immutable byte string.
+        """Finalize the writer and return the stream as immutable bytes.
 
-        Reports the encode census to the active telemetry collector
-        (once per writer, however often the value is re-read).
+        Reports the encode census to the active telemetry collector and
+        marks the writer finished; calling :meth:`getvalue` a second
+        time (or :meth:`append` afterwards) raises
+        :class:`~repro.errors.EncodingError`.
         """
-        if telemetry.enabled() and not self._reported:
-            self._reported = True
+        if self._finalized:
+            raise EncodingError(
+                "CtlWriter.getvalue called twice; the census is reported once "
+                "per encode -- keep the returned bytes instead"
+            )
+        self._finalized = True
+        if telemetry.enabled():
             record_ctl_stream(
                 self.class_counts,
                 new_rows=self.new_rows,

@@ -298,6 +298,35 @@ def unitize(
         return _unitize(row_ptr, col_ind, policy=policy, max_unit=max_unit)
 
 
+def matrix_deltas(
+    row_ptr: np.ndarray, col_ind: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One vectorized pass over the whole matrix: deltas and classes.
+
+    Returns ``(deltas, classes, starts)`` where ``deltas`` holds every
+    element's column delta (row-opening deltas measured from column 0),
+    ``classes`` its width class, and ``starts`` the element position
+    opening each non-empty row.  Both the per-unit reference encoder
+    and the batched encoder (:mod:`repro.compress.encode_batched`)
+    start from exactly these arrays.
+    """
+    nnz = col_ind.size
+    deltas = np.empty(nnz, dtype=np.int64)
+    starts = np.empty(0, dtype=np.int64)
+    if nnz:
+        deltas[0] = col_ind[0]
+        np.subtract(col_ind[1:], col_ind[:-1], out=deltas[1:])
+        starts = row_ptr[:-1][np.diff(row_ptr) > 0].astype(np.int64)
+        deltas[starts] = col_ind[starts]
+        inner = np.ones(nnz, dtype=bool)
+        inner[starts] = False
+        if np.any(deltas[inner] <= 0):
+            raise EncodingError("row columns must be strictly increasing")
+        if np.any(deltas[starts] < 0):
+            raise EncodingError("negative first column")
+    return deltas, width_class_array(deltas), starts
+
+
 def _unitize(
     row_ptr: np.ndarray,
     col_ind: np.ndarray,
@@ -305,22 +334,7 @@ def _unitize(
     policy: str,
     max_unit: int,
 ) -> list[Unit]:
-    nnz = col_ind.size
-    # One vectorized pass over the whole matrix: per-element deltas
-    # (row-start deltas measured from column 0) and width classes.
-    deltas_all = np.empty(nnz, dtype=np.int64)
-    if nnz:
-        deltas_all[0] = col_ind[0]
-        np.subtract(col_ind[1:], col_ind[:-1], out=deltas_all[1:])
-        starts = row_ptr[:-1][np.diff(row_ptr) > 0]
-        deltas_all[starts] = col_ind[starts]
-        inner = np.ones(nnz, dtype=bool)
-        inner[starts] = False
-        if np.any(deltas_all[inner] <= 0):
-            raise EncodingError("row columns must be strictly increasing")
-        if np.any(deltas_all[starts] < 0):
-            raise EncodingError("negative first column")
-    classes_all = width_class_array(deltas_all)
+    deltas_all, classes_all, _ = matrix_deltas(row_ptr, col_ind)
     units: list[Unit] = []
     jump = 1
     for row in range(row_ptr.size - 1):

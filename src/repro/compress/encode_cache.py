@@ -1,0 +1,164 @@
+"""Structure-keyed cache for format conversions (encodes).
+
+A bench sweep converts the same matrix to the same format once per
+(threads, kernel, placement, ...) cell, and :class:`~repro.parallel.
+executor.ParallelSpMV` re-encodes every row chunk for every thread
+count -- all of it identical work, because an encode depends only on
+the source structure and the encoding parameters.  This module keys
+that work so it happens once:
+
+``(matrix token, target format, sorted kwargs, row range)``
+
+* **matrix token** -- a process-unique integer stamped on the source
+  matrix object the first time it is seen (identity-based: two equal
+  matrices built separately encode twice; the sweeps this cache serves
+  always re-present the *same* object).
+* **sorted kwargs** -- the ``from_csr`` parameters (``policy``,
+  ``max_unit``, ``encoder``, BCSR block shape, ...), order-insensitive.
+* **row range** -- ``None`` for whole-matrix conversions, ``(lo, hi)``
+  for a :meth:`~repro.formats.csr.CSRMatrix.row_slice` chunk, so
+  partition-aligned chunk encodes are shared across sweep cells with
+  the same boundaries.
+
+Every lookup emits a ``convert.cache.hit`` or ``convert.cache.miss``
+counter labelled with the target format, so traces show exactly how
+much encode work the cache absorbed.  Eviction is LRU with a bounded
+entry count (encodes are matrix-sized; an unbounded cache would pin
+every matrix of a 77-matrix sweep).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.telemetry import core as telemetry
+
+#: Attribute used to stamp source matrices with their cache token.
+TOKEN_ATTR = "_encode_cache_token"
+
+_token_counter = itertools.count(1)
+
+
+def matrix_token(matrix) -> int:
+    """Process-unique identity token for *matrix* (stamped on first use).
+
+    A stamped attribute (not ``id()``) so the token cannot be recycled
+    by the allocator after the matrix is garbage collected.  Objects
+    with ``__slots__`` that cannot take the attribute fall back to
+    ``id()`` -- correct while the caller keeps the matrix alive, which
+    a cache lookup inherently does for the duration of the call.
+    """
+    token = getattr(matrix, TOKEN_ATTR, None)
+    if token is None:
+        token = next(_token_counter)
+        try:
+            setattr(matrix, TOKEN_ATTR, token)
+        except AttributeError:
+            return id(matrix)
+    return token
+
+
+def _freeze(value: Any) -> Any:
+    """Hashable view of a kwargs value (lists/dicts from configs)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def cache_key(
+    matrix, format_name: str, kwargs: dict, rows: tuple[int, int] | None
+) -> tuple:
+    """The full cache key for one conversion request."""
+    frozen = tuple(sorted((k, _freeze(v)) for k, v in kwargs.items()))
+    return (matrix_token(matrix), format_name, frozen, rows)
+
+
+class ConvertCache:
+    """Bounded LRU of finished conversions, keyed on :func:`cache_key`.
+
+    Thread-safe: ``ParallelSpMV`` instances built concurrently (and the
+    harness driving them) may share one cache.  A hit moves the entry
+    to the fresh end; insertion past ``capacity`` evicts the stalest.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def get_or_convert(
+        self,
+        matrix,
+        format_name: str,
+        *,
+        rows: tuple[int, int] | None = None,
+        **kwargs,
+    ):
+        """The converted matrix, encoding only on a cache miss.
+
+        With ``rows=(lo, hi)`` the source is row-sliced first (through
+        CSR) and the slice bounds join the key; the returned chunk is
+        shared by every caller presenting the same bounds.
+        """
+        key = cache_key(matrix, format_name, kwargs, rows)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if entry is not None:
+            telemetry.count("convert.cache.hit", 1, format=format_name)
+            return entry
+        telemetry.count("convert.cache.miss", 1, format=format_name)
+        # Conversion runs outside the lock: encodes are the expensive
+        # part, and two racing misses on one key just do the work twice
+        # (both results are equivalent; last insert wins).
+        from repro.formats.conversions import convert, to_csr
+
+        source = matrix
+        if rows is not None:
+            source = to_csr(matrix).row_slice(rows[0], rows[1])
+        result = convert(source, format_name, **kwargs)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return result
+
+
+#: Process-wide default cache (ParallelSpMV and the bench harness share
+#: it unless handed an explicit instance).
+DEFAULT_CACHE = ConvertCache()
+
+
+def cached_convert(
+    matrix,
+    format_name: str,
+    *,
+    rows: tuple[int, int] | None = None,
+    cache: ConvertCache | None = None,
+    **kwargs,
+):
+    """Convert through a cache (the module default when none is given)."""
+    # Explicit None check: ConvertCache defines __len__, so an *empty*
+    # caller-supplied cache must not be mistaken for "no cache".
+    target = DEFAULT_CACHE if cache is None else cache
+    return target.get_or_convert(matrix, format_name, rows=rows, **kwargs)

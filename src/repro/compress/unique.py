@@ -93,6 +93,8 @@ def unique_index_values(values: np.ndarray) -> UniqueValues:
     values = np.asarray(values)
     if values.size and np.isnan(values).any():
         raise FormatError("values contain NaN; CSR-VI requires comparable values")
+    from repro.compress.encode_batched import pack_value_index
+
     with telemetry.span("encode.csr_vi.unique", nnz=values.size):
         vals_unique, inverse = np.unique(values, return_inverse=True)
         dtype = index_dtype_for(vals_unique.size)
@@ -106,6 +108,6 @@ def unique_index_values(values: np.ndarray) -> UniqueValues:
         )
     return UniqueValues(
         vals_unique=vals_unique,
-        val_ind=inverse.astype(dtype),
+        val_ind=pack_value_index(inverse, dtype),
         ttu=float(ttu),
     )

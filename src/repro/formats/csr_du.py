@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.compress.ctl import CtlWriter, DecodedUnits, decode_units
 from repro.compress.delta import MAX_UNIT_SIZE, unitize
+from repro.compress.encode_batched import encode_ctl_batched
 from repro.errors import FormatError
 from repro.formats.base import SparseMatrix, Storage, register_format
 from repro.formats.csr import CSRMatrix
@@ -139,15 +140,39 @@ class CSRDUMatrix(SparseMatrix):
         *,
         policy: str = "greedy",
         max_unit: int = MAX_UNIT_SIZE,
+        encoder: str = "batched",
     ) -> "CSRDUMatrix":
-        """Encode a CSR matrix (one ``O(nnz)`` pass, Section IV)."""
+        """Encode a CSR matrix (one ``O(nnz)`` pass, Section IV).
+
+        ``encoder`` selects the pipeline: ``"batched"`` (default) runs
+        the whole-matrix vectorized encoder and hands its unit table to
+        the kernel plan; ``"reference"`` walks units one by one through
+        :class:`~repro.compress.ctl.CtlWriter`.  Both produce the same
+        bytes -- the reference path is the executable specification the
+        equivalence tests compare against.
+        """
+        row_ptr = csr.row_ptr.astype(np.int64)
+        col_ind = csr.col_ind.astype(np.int64)
+        if encoder == "batched":
+            enc = encode_ctl_batched(
+                row_ptr, col_ind, policy=policy, max_unit=max_unit
+            )
+            matrix = cls(
+                csr.nrows,
+                csr.ncols,
+                enc.ctl,
+                csr.values,
+                policy=policy,
+                max_unit=max_unit,
+            )
+            matrix._unit_table = enc.table
+            return matrix
+        if encoder != "reference":
+            raise FormatError(
+                f"unknown encoder {encoder!r}; choose 'batched' or 'reference'"
+            )
         writer = CtlWriter()
-        for unit in unitize(
-            csr.row_ptr.astype(np.int64),
-            csr.col_ind.astype(np.int64),
-            policy=policy,
-            max_unit=max_unit,
-        ):
+        for unit in unitize(row_ptr, col_ind, policy=policy, max_unit=max_unit):
             writer.append(unit)
         return cls(
             csr.nrows,

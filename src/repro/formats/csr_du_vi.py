@@ -16,6 +16,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.compress.ctl import DecodedUnits, decode_units
+from repro.compress.delta import MAX_UNIT_SIZE
 from repro.compress.unique import unique_index_values
 from repro.errors import FormatError
 from repro.formats.base import SparseMatrix, Storage, register_format
@@ -83,10 +84,23 @@ class CSRDUVIMatrix(SparseMatrix):
         return get_plan(self).spmm(self.vals_unique[self.val_ind], X, out=out)
 
     @classmethod
-    def from_csr(cls, csr: CSRMatrix, *, policy: str = "greedy") -> "CSRDUVIMatrix":
-        du = CSRDUMatrix.from_csr(csr, policy=policy)
+    def from_csr(
+        cls,
+        csr: CSRMatrix,
+        *,
+        policy: str = "greedy",
+        max_unit: int = MAX_UNIT_SIZE,
+        encoder: str = "batched",
+    ) -> "CSRDUVIMatrix":
+        du = CSRDUMatrix.from_csr(
+            csr, policy=policy, max_unit=max_unit, encoder=encoder
+        )
         uv = unique_index_values(csr.values)
-        return cls(csr.nrows, csr.ncols, du.ctl, uv.vals_unique, uv.val_ind)
+        matrix = cls(csr.nrows, csr.ncols, du.ctl, uv.vals_unique, uv.val_ind)
+        table = getattr(du, "_unit_table", None)
+        if table is not None:
+            matrix._unit_table = table
+        return matrix
 
     def to_csr(self) -> CSRMatrix:
         du = self.units

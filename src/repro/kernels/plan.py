@@ -94,7 +94,8 @@ class CSRPlan:
 class CSRDUPlan:
     """Plan for delta-unit formats (CSR-DU, CSR-DU-VI).
 
-    Built from the ctl stream alone: one header scan, one batched
+    Built from the ctl stream alone: one header scan (skipped when the
+    batched encoder already produced the unit table), one batched
     column decoder, and the per-nonzero row ids.  Each :meth:`spmv`
     re-decodes the column indices from the ctl bytes (width-class
     batched) and reduces per row in element order.
@@ -102,8 +103,9 @@ class CSRDUPlan:
 
     __slots__ = ("nrows", "ncols", "nnz", "table", "decoder", "elem_rows")
 
-    def __init__(self, nrows: int, ncols: int, ctl: bytes, nnz: int):
-        table = scan_units(ctl)
+    def __init__(self, nrows: int, ncols: int, ctl: bytes, nnz: int, table=None):
+        if table is None:
+            table = scan_units(ctl)
         decoder = BatchedColumnDecoder(ctl, table, nnz)
         if table.nunits and int(table.rows[-1]) >= nrows:
             raise FormatError(
@@ -149,7 +151,15 @@ def _build_plan(matrix):
     if name in ("csr", "csr-vi"):
         return CSRPlan(matrix.nrows, matrix.ncols, matrix.row_ptr, matrix.col_ind)
     if name in ("csr-du", "csr-du-vi"):
-        return CSRDUPlan(matrix.nrows, matrix.ncols, matrix.ctl, matrix.nnz)
+        # The batched encoder emits the unit table as a byproduct; a
+        # matrix carrying one skips the per-unit header re-scan here.
+        return CSRDUPlan(
+            matrix.nrows,
+            matrix.ncols,
+            matrix.ctl,
+            matrix.nnz,
+            table=getattr(matrix, "_unit_table", None),
+        )
     raise FormatError(
         f"no kernel plan for format {name!r}; plannable: {PLANNABLE_FORMATS}"
     )

@@ -72,6 +72,9 @@ class Attribution:
     speedup_vs_csr: float = 0.0
     plan_hits: int = 0
     plan_misses: int = 0
+    #: One-time setup cost of the cell: conversion (encode) plus kernel
+    #: plan build, in seconds.  0.0 when the encode was a cache hit.
+    setup_s: float = 0.0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -109,6 +112,7 @@ def attribute_cell(
     sim: SimResult | None = None,
     csr_storage: Storage | None = None,
     breakdown: ByteBreakdown | None = None,
+    setup_s: float = 0.0,
 ) -> Attribution:
     """Build the attribution record for one measured cell.
 
@@ -117,6 +121,8 @@ def attribute_cell(
     and the streamed byte count stands in for traffic (``bound``
     becomes ``"wallclock"``).  ``breakdown`` lets callers measuring the
     same matrix at several placements reuse one byte census.
+    ``setup_s`` is the cell's one-time preprocessing cost (encode +
+    plan build) as the harness measured it.
     """
     bd = breakdown if breakdown is not None else bytes_per_iteration(matrix, threads)
     flops = bd.flops
@@ -176,6 +182,7 @@ def attribute_cell(
         compression_ratio=compression_ratio,
         plan_hits=hits,
         plan_misses=misses,
+        setup_s=setup_s,
     )
 
 
@@ -204,6 +211,7 @@ def record(att: Attribution) -> None:
         speedup_vs_csr=att.speedup_vs_csr,
         plan_hits=att.plan_hits,
         plan_misses=att.plan_misses,
+        setup_s=att.setup_s,
     )
 
 

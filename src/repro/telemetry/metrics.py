@@ -15,6 +15,12 @@ name                           kind     meaning / labels
 =============================  =======  ==============================================
 ``convert``                    span     format conversion; ``target``, ``nrows``,
                                         ``ncols``
+``convert.cache.hit``          counter  conversion served from the encode cache;
+                                        ``format``
+``convert.cache.miss``         counter  conversion that had to encode; ``format``
+``encode.batched``             span     vectorized one-pass encode; ``kind``
+                                        (csr-du/csr-vi), ``policy``, ``nnz``,
+                                        ``nunits``, ``ctl_bytes``
 ``encode.csr_du.unitize``      span     CSR-DU delta/unit splitting; ``policy``
 ``encode.csr_du.units``        counter  units emitted; ``width`` in u8/u16/u32/u64
 ``encode.csr_du.seq_units``    counter  sequential (constant-stride) units
@@ -67,6 +73,9 @@ WIDTH_LABELS = ("u8", "u16", "u32", "u64")
 KNOWN_EVENTS = frozenset(
     {
         "convert",
+        "convert.cache.hit",
+        "convert.cache.miss",
+        "encode.batched",
         "encode.csr_du.unitize",
         "encode.csr_du.units",
         "encode.csr_du.seq_units",
@@ -189,6 +198,7 @@ def record_attribution(
     speedup_vs_csr: float,
     plan_hits: int,
     plan_misses: int,
+    setup_s: float = 0.0,
 ) -> None:
     """One performance-attribution record for a measured bench cell.
 
@@ -223,6 +233,7 @@ def record_attribution(
             "speedup_vs_csr": float(speedup_vs_csr),
             "plan_hits": int(plan_hits),
             "plan_misses": int(plan_misses),
+            "setup_s": float(setup_s),
         },
         format=format_name,
         threads=threads,

@@ -83,10 +83,10 @@ class TestRunSet:
         assert SPEEDUP_THREADS == (1, 2, 4, 8)
 
     def test_csr_baseline_converted_once_per_matrix(self, config, monkeypatch):
-        """run_set computes the CSR baseline once and passes it down."""
-        import repro.bench.harness as harness_mod
+        """run_set encodes CSR once; the csr cell is a cache hit."""
+        import repro.formats.conversions as conv_mod
 
-        real_convert = harness_mod.convert
+        real_convert = conv_mod.convert
         csr_targets = []
 
         def counting_convert(matrix, name, **kwargs):
@@ -94,11 +94,13 @@ class TestRunSet:
                 csr_targets.append(name)
             return real_convert(matrix, name, **kwargs)
 
-        monkeypatch.setattr(harness_mod, "convert", counting_convert)
+        monkeypatch.setattr(conv_mod, "convert", counting_convert)
         out = run_set((47,), ("csr", "csr-du", "csr-vi"), config)
-        # One baseline in run_set plus the "csr" cell's own conversion;
-        # the old code re-derived the baseline inside every cell.
-        assert csr_targets.count("csr") == 2
+        # The per-matrix conversion cache serves the "csr" cell from the
+        # baseline's entry, so the underlying conversion runs once (the
+        # pre-cache code converted twice, and the pre-PR-1 code once per
+        # cell).
+        assert csr_targets.count("csr") == 1
         assert out[47]["csr-du"].csr_storage == out[47]["csr"].storage
 
     def test_explicit_csr_storage_is_used(self, matrix, config):

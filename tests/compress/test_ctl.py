@@ -83,6 +83,36 @@ class TestWriterValidation:
             write_units([make_unit(new_row=False, row_jump=2)])
 
 
+class TestWriterFinalization:
+    def test_getvalue_finalizes(self):
+        w = CtlWriter()
+        w.append(make_unit(ujmp=0, deltas=[1]))
+        assert not w.finalized
+        ctl = w.getvalue()
+        assert w.finalized
+        assert len(ctl) > 0
+
+    def test_second_getvalue_raises(self):
+        w = CtlWriter()
+        w.append(make_unit(ujmp=0, deltas=[1]))
+        w.getvalue()
+        with pytest.raises(EncodingError, match="twice"):
+            w.getvalue()
+
+    def test_append_after_finalize_raises(self):
+        w = CtlWriter()
+        w.append(make_unit(ujmp=0, deltas=[1]))
+        w.getvalue()
+        with pytest.raises(EncodingError, match="finalized"):
+            w.append(make_unit(row=1, ujmp=2))
+
+    def test_empty_writer_still_finalizes(self):
+        w = CtlWriter()
+        assert w.getvalue() == b""
+        with pytest.raises(EncodingError):
+            w.getvalue()
+
+
 class TestReaderValidation:
     def test_truncated_header(self):
         with pytest.raises(EncodingError):

@@ -131,8 +131,9 @@ class TestSeqSerialization:
         w = CtlWriter()
         for u in units:
             w.append(u)
-        du = decode_units(w.getvalue(), cols.size)
-        assert int(du.ctl_offsets[-1]) == len(w.getvalue())
+        ctl = w.getvalue()
+        du = decode_units(ctl, cols.size)
+        assert int(du.ctl_offsets[-1]) == len(ctl)
         assert du.seq.any()
         assert du.columns.tolist() == cols.tolist()
 

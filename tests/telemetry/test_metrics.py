@@ -42,8 +42,18 @@ class TestCsrDuEncodeMetrics:
         nonempty = int(np.count_nonzero(np.diff(csr.row_ptr)))
         assert collector.counters["encode.csr_du.new_rows"] == nonempty
 
-    def test_unitize_span_emitted(self, collector, csr):
+    def test_encode_span_emitted(self, collector, csr):
         convert(csr, "csr-du")
+        spans = [
+            ev for ev in collector.snapshot() if ev.name == "encode.batched"
+        ]
+        assert len(spans) == 1
+        assert spans[0].attrs["policy"] == "greedy"
+        assert spans[0].attrs["nnz"] == csr.nnz
+        assert spans[0].attrs["kind"] == "csr-du"
+
+    def test_unitize_span_emitted_by_reference_encoder(self, collector, csr):
+        convert(csr, "csr-du", encoder="reference")
         spans = [
             ev for ev in collector.snapshot() if ev.name == "encode.csr_du.unitize"
         ]

@@ -10,14 +10,21 @@ from repro.util.bitops import (
     WIDTH_BYTES,
     decode_varint,
     decode_varint_array,
+    decode_varint_array_reference,
     encode_varint,
     encode_varint_array,
+    encode_varint_array_reference,
     pack_fixed,
+    scatter_varints,
     unpack_fixed,
     varint_size,
+    varint_size_array,
     width_class,
     width_class_array,
 )
+
+#: Non-negative values straddling every varint byte-size breakpoint.
+varint_values = st.integers(min_value=0, max_value=(1 << 63) - 1)
 
 
 class TestWidthClass:
@@ -126,6 +133,74 @@ class TestVarint:
         out, pos = decode_varint_array(data, len(values))
         assert out.tolist() == values
         assert pos == len(data)
+
+
+class TestVarintArrayVectorized:
+    """The vectorized array paths against their scalar references."""
+
+    @given(st.lists(varint_values, max_size=60))
+    def test_size_array_matches_scalar(self, values):
+        sizes = varint_size_array(np.asarray(values, dtype=np.uint64))
+        assert sizes.tolist() == [varint_size(v) for v in values]
+
+    @given(st.lists(varint_values, max_size=60))
+    def test_encode_matches_reference(self, values):
+        arr = np.asarray(values, dtype=np.uint64)
+        assert encode_varint_array(arr) == encode_varint_array_reference(arr)
+
+    @given(st.lists(varint_values, max_size=60))
+    def test_decode_matches_reference(self, values):
+        arr = np.asarray(values, dtype=np.uint64)
+        data = encode_varint_array(arr)
+        fast, fast_pos = decode_varint_array(data, arr.size)
+        slow, slow_pos = decode_varint_array_reference(data, arr.size)
+        assert fast.tolist() == slow.tolist()
+        assert fast_pos == slow_pos == len(data)
+
+    def test_decode_from_offset(self):
+        data = b"\xff\xff" + encode_varint_array(np.asarray([300, 7]))
+        out, pos = decode_varint_array(data, 2, pos=2)
+        assert out.tolist() == [300, 7]
+        assert pos == len(data)
+
+    def test_scatter_matches_concatenated_scalars(self):
+        values = np.asarray([0, 127, 128, 16384, 1 << 40], dtype=np.uint64)
+        sizes = varint_size_array(values)
+        offsets = np.concatenate(([0], np.cumsum(sizes[:-1])))
+        buf = np.zeros(int(sizes.sum()), dtype=np.uint8)
+        scatter_varints(buf, values, offsets, sizes)
+        expected = bytearray()
+        for v in values.tolist():
+            encode_varint(int(v), expected)
+        assert buf.tobytes() == bytes(expected)
+
+    def test_scatter_interleaved_positions(self):
+        """Scatter into a stream with gaps the caller fills otherwise."""
+        values = np.asarray([5, 300], dtype=np.uint64)
+        sizes = varint_size_array(values)
+        buf = np.zeros(10, dtype=np.uint8)
+        scatter_varints(buf, values, np.asarray([1, 6]), sizes)
+        assert decode_varint(buf.tobytes(), 1) == (5, 2)
+        assert decode_varint(buf.tobytes(), 6) == (300, 8)
+
+    def test_size_array_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            varint_size_array(np.asarray([1, -2], dtype=np.int64))
+
+    def test_empty_arrays(self):
+        assert varint_size_array(np.empty(0, dtype=np.uint64)).size == 0
+        assert encode_varint_array(np.empty(0, dtype=np.uint64)) == b""
+        out, pos = decode_varint_array(b"", 0)
+        assert out.size == 0 and pos == 0
+
+    def test_decode_truncated_rejected(self):
+        data = encode_varint_array(np.asarray([1 << 20], dtype=np.uint64))
+        with pytest.raises(EncodingError):
+            decode_varint_array(data[:-1], 1)
+
+    def test_decode_overlong_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_varint_array(b"\x80" * 10 + b"\x01", 1)
 
 
 class TestPackFixed:

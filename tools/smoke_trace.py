@@ -41,6 +41,8 @@ REQUIRED_EVENTS = frozenset(
         "bench.matrix",
         "bench.cell",
         "convert",
+        "convert.cache.miss",
+        "encode.batched",
         "encode.csr_du.units",
         "plan.build",
         "plan.hit",
@@ -73,6 +75,7 @@ REQUIRED_PAYLOADS: dict[str, frozenset] = {
             "nnz_imbalance",
             "time_imbalance",
             "compression_ratio",
+            "setup_s",
         }
     ),
     "parallel.chunk": frozenset({"thread", "lo", "hi", "nnz", "kind"}),
