@@ -149,6 +149,19 @@ def main(argv: list[str] | None = None) -> int:
             "reference = per-unit CtlWriter); both emit identical bytes"
         ),
     )
+    parser.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "checkpoint JSONL: finished (matrix, format) cells are "
+            "appended there as they complete, and a rerun pointing at "
+            "the same file skips them (results are identical to an "
+            "uninterrupted run; mismatched-configuration lines are "
+            "ignored)"
+        ),
+    )
     parser.add_argument("--out", type=str, default=None, help="also write to a file")
     parser.add_argument(
         "--json",
@@ -206,7 +219,10 @@ def main(argv: list[str] | None = None) -> int:
     if "all" in names:
         names = list(_EXPERIMENTS)
     config = ExperimentConfig(
-        scale=args.scale, kernel=args.kernel, encoder=args.encoder
+        scale=args.scale,
+        kernel=args.kernel,
+        encoder=args.encoder,
+        checkpoint_path=args.resume,
     )
     trace_on = profile or html_report or args.trace or args.chrome_trace
     prev_collector = (

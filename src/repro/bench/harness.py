@@ -69,6 +69,13 @@ class ExperimentConfig:
     #: CtlWriter walk).  Mirrors the ``kernel`` axis on the setup side;
     #: both produce byte-identical streams.
     encoder: str = "batched"
+    #: Checkpoint JSONL path for :func:`run_set` (``None`` disables).
+    #: Finished (matrix, format) cells are appended as they complete;
+    #: a rerun pointing at the same path restores them and skips the
+    #: work, producing a bundle byte-identical to an uninterrupted run
+    #: (see :mod:`repro.bench.checkpoint`).  The CLI's ``--resume``
+    #: flag sets this.
+    checkpoint_path: str | None = None
 
     def scaled_machine(self) -> MachineSpec:
         return self.machine if self.scale == 1.0 else self.machine.scaled(self.scale)
@@ -252,28 +259,51 @@ def run_set(
     Returns ``{matrix_id: {format_name: MatrixResult}}``.  Matrices are
     realized (and freed) one at a time: the full-scale catalog would
     not fit in memory all at once.
+
+    With ``config.checkpoint_path`` set, every finished cell is
+    appended to the checkpoint JSONL as it completes, and cells already
+    present there (same configuration fingerprint) are restored instead
+    of recomputed — a matrix whose every format is checkpointed is not
+    even realized.  The resumed result is identical to an uninterrupted
+    run's (the speedup-vs-CSR fill below runs on restored cells too).
     """
+    log = None
+    done: dict[tuple[int, str], MatrixResult] = {}
+    if config.checkpoint_path:
+        from repro.bench.checkpoint import CheckpointLog, fingerprint
+
+        log = CheckpointLog(config.checkpoint_path, fingerprint(config, configs))
+        done = log.load()
     out: dict[int, dict[str, MatrixResult]] = {}
     for mid in ids:
         with telemetry.span("bench.matrix", matrix_id=mid):
-            matrix = realize(mid, scale=config.scale)
-            # One conversion cache per matrix: cells that re-present the
-            # same (format, kwargs) reuse the encode, and the cache dies
-            # with the matrix (full-scale matrices must not accumulate).
-            cache = ConvertCache()
-            # One CSR baseline per matrix: every format's size-reduction
-            # figure shares the denominator, so encode it exactly once.
-            csr_storage = cached_convert(matrix, "csr", cache=cache).storage()
-            if telemetry.enabled() and not any(
-                f.startswith("csr-du") for f in formats
-            ):
-                # Tracing asks "what structure does this matrix have?"
-                # even for CSR-only experiments, so record the CSR-DU
-                # unit census (the encode emits the width histogram).
-                convert(matrix, "csr-du", encoder=config.encoder)
             per_fmt: dict[str, MatrixResult] = {}
+            missing = [f for f in formats if (mid, f) not in done]
+            if missing:
+                matrix = realize(mid, scale=config.scale)
+                # One conversion cache per matrix: cells that re-present
+                # the same (format, kwargs) reuse the encode, and the
+                # cache dies with the matrix (full-scale matrices must
+                # not accumulate).
+                cache = ConvertCache()
+                # One CSR baseline per matrix: every format's
+                # size-reduction figure shares the denominator, so
+                # encode it exactly once.
+                csr_storage = cached_convert(matrix, "csr", cache=cache).storage()
+                if telemetry.enabled() and not any(
+                    f.startswith("csr-du") for f in formats
+                ):
+                    # Tracing asks "what structure does this matrix
+                    # have?" even for CSR-only experiments, so record
+                    # the CSR-DU unit census (the encode emits the
+                    # width histogram).
+                    convert(matrix, "csr-du", encoder=config.encoder)
             for fmt in formats:
-                per_fmt[fmt] = run_format_matrix(
+                restored = done.get((mid, fmt))
+                if restored is not None:
+                    per_fmt[fmt] = restored
+                    continue
+                res = run_format_matrix(
                     matrix,
                     fmt,
                     config,
@@ -282,6 +312,12 @@ def run_set(
                     csr_storage=csr_storage,
                     convert_cache=cache,
                 )
+                per_fmt[fmt] = res
+                if log is not None:
+                    # Appended pre-speedup-fill: the fill needs the
+                    # whole matrix and is re-applied deterministically
+                    # on restore.
+                    log.append(res)
             # With a CSR baseline in the set, fill in each compressed
             # format's speedup so the attribution records can answer the
             # paper's compression-ratio-vs-speedup question directly.

@@ -314,6 +314,25 @@ def matrix_deltas(
     deltas = np.empty(nnz, dtype=np.int64)
     starts = np.empty(0, dtype=np.int64)
     if nnz:
+        # Structural validation of row_ptr itself, shared by BOTH the
+        # reference (unitize/CtlWriter) and batched pipelines so they
+        # fail identically on adversarial input.  Without it, a bad
+        # row_ptr either silently produced a garbage stream (end !=
+        # nnz, non-monotone) or tripped an internal invariant in only
+        # one of the two encoders (negative / nonzero start).
+        if row_ptr.size == 0:
+            raise EncodingError("row_ptr is empty but nonzeros are present")
+        if int(row_ptr[0]) != 0:
+            raise EncodingError(
+                f"row_ptr must start at 0, got {int(row_ptr[0])}"
+            )
+        if int(row_ptr[-1]) != nnz:
+            raise EncodingError(
+                f"row_ptr ends at {int(row_ptr[-1])} but there are "
+                f"{nnz} nonzeros"
+            )
+        if row_ptr.size > 1 and int(np.diff(row_ptr).min()) < 0:
+            raise EncodingError("row_ptr must be non-decreasing")
         deltas[0] = col_ind[0]
         np.subtract(col_ind[1:], col_ind[:-1], out=deltas[1:])
         starts = row_ptr[:-1][np.diff(row_ptr) > 0].astype(np.int64)

@@ -102,6 +102,25 @@ class ConvertCache:
         with self._lock:
             self._entries.clear()
 
+    def invalidate(
+        self,
+        matrix,
+        format_name: str,
+        *,
+        rows: tuple[int, int] | None = None,
+        **kwargs,
+    ) -> bool:
+        """Drop one cached conversion; ``True`` if an entry was evicted.
+
+        Used by the hardened executor: a chunk whose cached encode
+        fails at decode time is invalidated and re-encoded from the
+        source before the bounded retry, so a poisoned cache entry
+        cannot fail the same chunk twice.
+        """
+        key = cache_key(matrix, format_name, kwargs, rows)
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
     def get_or_convert(
         self,
         matrix,

@@ -42,6 +42,60 @@ class TelemetryError(ReproError):
     """A telemetry event, trace file, or collector operation is invalid."""
 
 
+class IntegrityError(ReproError):
+    """Stored matrix data fails an integrity check.
+
+    Raised by the validators in :mod:`repro.robust.validate` (structural
+    invariants, ctl-stream walking, checksum seals) and by aliasing
+    contract violations in the compute paths.  Where the failure can be
+    localized, the context rides along as attributes.
+
+    Attributes
+    ----------
+    byte_offset:
+        Offset into a byte stream (e.g. ``ctl``) where the check failed,
+        or ``None``.
+    row:
+        Matrix row being walked when the check failed, or ``None``.
+    field:
+        Name of the stored array that failed (seal mismatches), or
+        ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        byte_offset: int | None = None,
+        row: int | None = None,
+        field: str | None = None,
+    ):
+        super().__init__(message)
+        self.byte_offset = byte_offset
+        self.row = row
+        self.field = field
+
+
+class ExecutionError(ReproError):
+    """One or more worker chunks of a parallel SpMV call failed.
+
+    Aggregates every per-chunk failure of the call (the executor does
+    not stop at the first one), so a single except clause sees the full
+    damage report.
+
+    Attributes
+    ----------
+    failures:
+        Tuple of :class:`~repro.parallel.executor.ChunkFailure`, one per
+        failed chunk, each carrying the thread id, row range and the
+        underlying exception.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to reach its tolerance.
 

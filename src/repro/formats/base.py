@@ -52,6 +52,30 @@ class Storage:
         return self.total_bytes / other.total_bytes
 
 
+def check_out_aliasing(out: np.ndarray, *sources: np.ndarray) -> np.ndarray:
+    """Reject an ``out=`` buffer that shares memory with an input.
+
+    The multi-vector and partial-reduction paths write ``out`` while
+    still reading their inputs (column by column, partial by partial),
+    so an aliased buffer silently corrupts the answer mid-computation.
+    The contract is *no overlap*; violations raise
+    :class:`~repro.errors.IntegrityError` instead of returning wrong
+    numbers.  (``spmv(out=)`` on the plannable formats computes every
+    product before writing and needs no check — this guards the looped
+    paths.)
+    """
+    from repro.errors import IntegrityError
+
+    for src in sources:
+        if np.may_share_memory(out, src):
+            raise IntegrityError(
+                "out= buffer shares memory with an input array; the "
+                "looped multi-vector/reduction paths require a disjoint "
+                "output (pass a fresh buffer or copy the input)"
+            )
+    return out
+
+
 class SparseMatrix(abc.ABC):
     """Abstract sparse matrix.
 
@@ -111,9 +135,38 @@ class SparseMatrix(abc.ABC):
             raise FormatError(f"X has shape {X.shape}, expected ({self.ncols}, k)")
         if out is None:
             out = np.empty((self.nrows, X.shape[1]), dtype=np.float64)
+        else:
+            check_out_aliasing(out, X)
         for j in range(X.shape[1]):
             self.spmv(X[:, j], out=out[:, j])
         return out
+
+    # -- integrity -----------------------------------------------------
+    def verify(self, *, value_policy: str = "finite") -> "SparseMatrix":
+        """Run every applicable integrity check; return ``self``.
+
+        Structural invariants (row pointers, index ranges, ctl-stream
+        well-formedness via the non-decoding walker), the NaN/Inf
+        *value_policy*, and — when :meth:`seal` was called — checksum
+        verification of every stored array.  Raises
+        :class:`~repro.errors.IntegrityError` with byte-offset/row
+        context on the first failure.  See :mod:`repro.robust.validate`.
+        """
+        from repro.robust.validate import verify_matrix
+
+        return verify_matrix(self, value_policy=value_policy)
+
+    def seal(self) -> "SparseMatrix":
+        """Stamp CRC32 checksums of the stored arrays; return ``self``.
+
+        After sealing, :meth:`verify` additionally re-hashes every
+        array — the only check that catches corruptions which keep the
+        structure plausible (in-range bit flips).  Opt-in: unsealed
+        matrices pay nothing.
+        """
+        from repro.robust.validate import seal as _seal
+
+        return _seal(self)
 
     # -- generic helpers -----------------------------------------------
     def to_dense(self) -> np.ndarray:

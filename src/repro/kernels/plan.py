@@ -87,6 +87,10 @@ class CSRPlan:
         return self.reducer.reduce(products, out=out)
 
     def spmm(self, values, X, out=None):
+        # All products materialize before `out` is written, so this path
+        # is safe even when `out` aliases X (copy semantics); the looped
+        # base-class spmm rejects aliasing instead (see
+        # formats.base.check_out_aliasing).
         products = values[:, None] * X[self.col_ind]
         return self.reducer.reduce(products, out=out)
 
@@ -135,6 +139,8 @@ class CSRDUPlan:
 
     def spmm(self, values, X, out=None):
         cols = self.decoder.columns()
+        # As in CSRPlan.spmm: products materialize first, so an out=
+        # buffer aliasing X still gets the right answer.
         products = values[:, None] * X[cols]
         if out is None:
             out = np.empty((self.nrows, X.shape[1]), dtype=np.float64)

@@ -85,6 +85,8 @@ def spmv_csr_du_reference(
     units = 0
     class_elems = [0, 0, 0, 0]
     while pos < n:
+        if pos + 2 > n:
+            raise EncodingError("truncated unit header")
         uflags = ctl[pos]
         usize = ctl[pos + 1]
         pos += 2
@@ -113,6 +115,10 @@ def spmv_csr_du_reference(
                     break
                 x_indx += stride
         else:
+            if pos + (usize - 1) * width > n:
+                # A short slice below would silently read a smaller
+                # delta instead of failing; reject the stream up front.
+                raise EncodingError("truncated fixed-width run")
             remaining = usize
             while True:
                 acc += values[vidx] * x[x_indx]

@@ -79,8 +79,56 @@ for _name in (
     _KERNELS[(_name, "cached")] = _cached
 
 
+#: Tier order walked by guarded execution: a decode failure at one tier
+#: re-runs on the next (cheapest-first; "reference" is the ground-truth
+#: terminus).  Tiers a format does not register are skipped.
+FALLBACK_ORDER: tuple[str, ...] = ("batched", "vectorized", "reference")
+
+
+def fallback_chain(
+    format_name: str, start_tier: str = "batched"
+) -> tuple[KernelSpec, ...]:
+    """The format's guarded-execution chain, from *start_tier* down.
+
+    Raises :class:`~repro.errors.FormatError` for an unknown start tier
+    or a format with no tier at or below it.
+    """
+    if start_tier not in FALLBACK_ORDER:
+        raise FormatError(
+            f"unknown fallback start tier {start_tier!r}; "
+            f"order is {FALLBACK_ORDER}"
+        )
+    idx = FALLBACK_ORDER.index(start_tier)
+    chain = tuple(
+        get_kernel(format_name, tier)
+        for tier in FALLBACK_ORDER[idx:]
+        if (format_name, tier) in _KERNELS
+    )
+    if not chain:
+        raise FormatError(
+            f"format {format_name!r} has no kernels at or below tier "
+            f"{start_tier!r}"
+        )
+    return chain
+
+
 def get_kernel(format_name: str, tier: str = "cached") -> KernelSpec:
-    """Look up a kernel; raises :class:`~repro.errors.FormatError` if absent."""
+    """Look up a kernel; raises :class:`~repro.errors.FormatError` if absent.
+
+    The synthetic ``"guarded"`` tier wraps the format's fallback chain
+    (:func:`fallback_chain`) in a :class:`~repro.robust.guard.
+    GuardedKernel`: decode-time failures degrade to the next tier
+    instead of aborting the cell.
+    """
+    if tier == "guarded":
+        # Imported lazily: robust.guard imports this module.
+        from repro.robust.guard import GuardedKernel
+
+        return KernelSpec(
+            format_name=format_name,
+            tier="guarded",
+            func=GuardedKernel(format_name),
+        )
     try:
         func = _KERNELS[(format_name, tier)]
     except KeyError:

@@ -75,6 +75,8 @@ def spmv_csr_du_unitwise(matrix: CSRDUMatrix, x: np.ndarray) -> np.ndarray:
     n = len(ctl)
     chain = np.empty(257, dtype=np.float64)  # usize <= 255 products + carry
     while pos < n:
+        if pos + 2 > n:
+            raise EncodingError("truncated unit header")
         uflags = ctl[pos]
         usize = ctl[pos + 1]
         pos += 2
@@ -95,6 +97,8 @@ def spmv_csr_du_unitwise(matrix: CSRDUMatrix, x: np.ndarray) -> np.ndarray:
             cols = col + stride * np.arange(usize, dtype=np.int64)
             col = int(cols[-1])
         elif body:
+            if pos + body * width > n:
+                raise EncodingError("truncated fixed-width run")
             deltas = np.frombuffer(ctl, dtype=WIDTH_DTYPES[cls], count=body, offset=pos)
             pos += body * width
             cols = np.empty(usize, dtype=np.int64)

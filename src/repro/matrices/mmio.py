@@ -37,13 +37,21 @@ def read_matrix_market(path_or_file) -> COOMatrix:
 
 
 def _read(fh) -> COOMatrix:
-    header = fh.readline().strip().split()
+    # Every malformed-input path below raises FormatError with the
+    # 1-based line number of the offending line, so a bad download is
+    # diagnosable without opening the file.
+    raw = fh.readline()
+    if not raw.strip():
+        raise FormatError("line 1: missing MatrixMarket header")
+    header = raw.strip().split()
     if (
         len(header) != 5
         or header[0] != "%%MatrixMarket"
         or header[1].lower() != "matrix"
     ):
-        raise FormatError(f"not a MatrixMarket matrix header: {' '.join(header)}")
+        raise FormatError(
+            f"line 1: not a MatrixMarket matrix header: {' '.join(header)}"
+        )
     layout, field, symmetry = (
         header[2].lower(),
         header[3].lower(),
@@ -56,24 +64,56 @@ def _read(fh) -> COOMatrix:
     if symmetry not in _SUPPORTED_SYMMETRIES:
         raise FormatError(f"unsupported symmetry {symmetry!r}")
 
+    lineno = 1
     line = fh.readline()
+    lineno += 1
     while line.startswith("%"):
         line = fh.readline()
+        lineno += 1
+    if not line.strip():
+        raise FormatError(f"line {lineno}: missing size line")
     try:
         nrows, ncols, nnz = (int(tok) for tok in line.split())
     except ValueError:
-        raise FormatError(f"bad size line: {line!r}") from None
+        raise FormatError(
+            f"line {lineno}: bad size line: {line.strip()!r} "
+            "(expected 'nrows ncols nnz')"
+        ) from None
+    if nrows < 0 or ncols < 0 or nnz < 0:
+        raise FormatError(
+            f"line {lineno}: negative dimensions in size line: "
+            f"{nrows} {ncols} {nnz}"
+        )
 
+    need = 2 if field == "pattern" else 3
     rows = np.empty(nnz, dtype=np.int64)
     cols = np.empty(nnz, dtype=np.int64)
     vals = np.empty(nnz, dtype=np.float64)
     for k in range(nnz):
-        toks = fh.readline().split()
-        if len(toks) < (2 if field == "pattern" else 3):
-            raise FormatError(f"truncated entry at line {k + 1}")
-        rows[k] = int(toks[0]) - 1
-        cols[k] = int(toks[1]) - 1
-        vals[k] = 1.0 if field == "pattern" else float(toks[2])
+        entry = fh.readline()
+        lineno += 1
+        toks = entry.split()
+        if len(toks) < need:
+            raise FormatError(
+                f"line {lineno}: truncated entry {k + 1} of {nnz}: "
+                f"expected {need} fields, got {len(toks)}"
+            )
+        try:
+            i = int(toks[0])
+            j = int(toks[1])
+            v = 1.0 if field == "pattern" else float(toks[2])
+        except ValueError:
+            raise FormatError(
+                f"line {lineno}: non-numeric entry: {entry.strip()!r}"
+            ) from None
+        if not (1 <= i <= nrows and 1 <= j <= ncols):
+            raise FormatError(
+                f"line {lineno}: entry ({i}, {j}) outside the declared "
+                f"{nrows} x {ncols} shape (indices are 1-based)"
+            )
+        rows[k] = i - 1
+        cols[k] = j - 1
+        vals[k] = v
 
     if symmetry in ("symmetric", "skew-symmetric"):
         off = rows != cols

@@ -5,6 +5,20 @@ matrix is split once (row partitioning, static nnz balancing), each
 thread owns a contiguous block of rows of ``y``, and every call runs
 the per-thread kernels concurrently on a persistent thread pool.
 
+Fault tolerance (PR 5): a worker failure no longer poisons the run
+silently or kills it on the first exception.  Every chunk's outcome is
+collected; chunks that fail with a decode-class error
+(:class:`~repro.errors.EncodingError` / :class:`~repro.errors.
+IntegrityError` / :class:`~repro.errors.FormatError`) get one bounded
+retry after their cached encode is invalidated and rebuilt from the
+source matrix (``executor.retry`` counter), and whatever still fails
+is aggregated into a single :class:`~repro.errors.ExecutionError`
+carrying per-chunk (thread id, row range) context.  An optional
+per-chunk timeout bounds how long the caller waits on a wedged worker
+(the thread itself cannot be killed — CPython has no mechanism — but
+the call returns with a :class:`TimeoutError` failure instead of
+hanging).
+
 Honesty note (also in DESIGN.md): NumPy releases the GIL inside its
 array operations, so the vectorized kernels do overlap -- but this
 container has a single CPU and CPython serializes the Python-level
@@ -17,17 +31,47 @@ scaling numbers in the tables come from :mod:`repro.machine`.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.compress.encode_cache import ConvertCache, cached_convert
-from repro.errors import PartitionError
-from repro.formats.base import SparseMatrix
+from repro.compress.encode_cache import DEFAULT_CACHE, ConvertCache
+from repro.errors import (
+    EncodingError,
+    ExecutionError,
+    FormatError,
+    IntegrityError,
+    PartitionError,
+)
+from repro.formats.base import SparseMatrix, check_out_aliasing
 from repro.formats.conversions import to_csr
 from repro.kernels.plan import PLANNABLE_FORMATS, get_plan
 from repro.parallel.partition import RowPartition, row_partition
 from repro.telemetry import core as telemetry
+
+#: Error types that warrant invalidating the chunk's cached encode and
+#: retrying once (decode-time failures of possibly-stale cached data).
+RETRYABLE = (EncodingError, IntegrityError, FormatError)
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """One worker chunk's terminal failure within a parallel call."""
+
+    thread: int
+    lo: int
+    hi: int
+    error: BaseException
+    #: Whether a cache-invalidating retry was attempted before giving up.
+    retried: bool
+
+    def describe(self) -> str:
+        return (
+            f"thread {self.thread} rows [{self.lo}, {self.hi}): "
+            f"{type(self.error).__name__}: {self.error}"
+        )
 
 
 def reduce_partial_results(
@@ -38,12 +82,24 @@ def reduce_partial_results(
     With ``out=`` the sum accumulates into the caller's buffer (fully
     overwritten), so an iterative caller allocates nothing per call;
     without it, one fresh copy of the first partial is made, as before.
+
+    Aliasing contract: ``out`` may be ``partials[0]`` itself (the
+    overwrite is then a no-op and the remaining partials accumulate on
+    top), but must not overlap any *later* partial — those are read
+    after ``out`` starts changing, so overlap silently corrupts the
+    sum.  Violations raise :class:`~repro.errors.IntegrityError`.
     """
     if not partials:
         raise PartitionError("no partial results to reduce")
     if out is None:
         out = np.array(partials[0], dtype=np.float64, copy=True)
     else:
+        if any(p is out for p in partials[1:]):
+            raise IntegrityError(
+                "out= buffer is also a later partial; it would be read "
+                "after being overwritten"
+            )
+        check_out_aliasing(out, *partials[1:])
         np.copyto(out, partials[0])
     for p in partials[1:]:
         out += p
@@ -71,6 +127,12 @@ class ParallelSpMV:
         format, kwargs and row bounds, so rebuilding an executor over
         the same matrix -- a sweep iterating kernels or repeat counts
         at one thread count -- reuses every encode.
+    chunk_timeout:
+        Seconds to wait for each chunk per call (``None`` = forever).
+        A chunk exceeding it is reported as a :class:`TimeoutError`
+        inside the aggregated :class:`~repro.errors.ExecutionError`;
+        the worker thread itself keeps running to completion (threads
+        cannot be killed) but its result is discarded.
     """
 
     def __init__(
@@ -80,41 +142,79 @@ class ParallelSpMV:
         *,
         format_name: str = "csr",
         convert_cache: ConvertCache | None = None,
+        chunk_timeout: float | None = None,
         **format_kwargs,
     ):
         if nthreads < 1:
             raise PartitionError(f"nthreads must be >= 1, got {nthreads}")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise PartitionError(
+                f"chunk_timeout must be positive, got {chunk_timeout}"
+            )
         csr = to_csr(matrix)
         self.nrows, self.ncols = csr.shape
         self.nthreads = nthreads
+        self.chunk_timeout = chunk_timeout
+        # Kept for chunk rebuilds on retry (see _rebuild_chunk).
+        self._csr = csr
+        self._format_name = format_name
+        self._format_kwargs = dict(format_kwargs)
+        self._cache = DEFAULT_CACHE if convert_cache is None else convert_cache
         self.partition: RowPartition = row_partition(csr.row_ptr, nthreads)
-        self.chunks: list[SparseMatrix] = []
-        for t in range(nthreads):
-            lo, hi = self.partition.rows_of(t)
-            self.chunks.append(
-                cached_convert(
-                    csr,
-                    format_name,
-                    rows=(lo, hi),
-                    cache=convert_cache,
-                    **format_kwargs,
-                )
-            )
-        # Build each chunk's kernel plan up front (part of the paper's
-        # one-time setup cost), so the first timed call is already hot.
-        for chunk in self.chunks:
-            if chunk.name in PLANNABLE_FORMATS:
-                get_plan(chunk)
+        self.chunks: list[SparseMatrix] = [
+            self._encode_chunk(t) for t in range(nthreads)
+        ]
         self._pool: ThreadPoolExecutor | None = (
             ThreadPoolExecutor(max_workers=nthreads) if nthreads > 1 else None
         )
 
+    def _encode_chunk(self, t: int) -> SparseMatrix:
+        """Convert thread *t*'s row block through the cache; plan it.
+
+        The kernel plan is built up front (part of the paper's one-time
+        setup cost), so the first timed call is already hot.
+        """
+        lo, hi = self.partition.rows_of(t)
+        chunk = self._cache.get_or_convert(
+            self._csr,
+            self._format_name,
+            rows=(lo, hi),
+            **self._format_kwargs,
+        )
+        if chunk.name in PLANNABLE_FORMATS:
+            get_plan(chunk)
+        return chunk
+
+    def _rebuild_chunk(self, t: int) -> SparseMatrix:
+        """Invalidate thread *t*'s cached encode and re-encode fresh."""
+        lo, hi = self.partition.rows_of(t)
+        self._cache.invalidate(
+            self._csr, self._format_name, rows=(lo, hi), **self._format_kwargs
+        )
+        chunk = self._encode_chunk(t)
+        self.chunks[t] = chunk
+        return chunk
+
     def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Compute ``y = A x`` with all threads; returns ``y``."""
+        """Compute ``y = A x`` with all threads; returns ``y``.
+
+        All chunk failures of the call are aggregated into one
+        :class:`~repro.errors.ExecutionError` (nothing is silently
+        dropped); decode-class failures get one cache-invalidating
+        retry first.
+        """
         x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise FormatError(
+                f"x has shape {x.shape}, expected ({self.ncols},)"
+            )
+        if out is not None:
+            # Chunks write y while every chunk reads x concurrently; an
+            # aliased buffer races with those reads.
+            check_out_aliasing(out, x)
         y = out if out is not None else np.empty(self.nrows, dtype=np.float64)
 
-        def work(t: int) -> None:
+        def work(t: int) -> ChunkFailure | None:
             lo, hi = self.partition.rows_of(t)
             with telemetry.span(
                 "parallel.chunk",
@@ -124,15 +224,61 @@ class ParallelSpMV:
                 nnz=int(self.partition.nnz_per_thread[t]),
                 kind="row",
             ):
-                self.chunks[t].spmv(x, out=y[lo:hi])
+                try:
+                    self.chunks[t].spmv(x, out=y[lo:hi])
+                    return None
+                except RETRYABLE as exc:
+                    telemetry.count(
+                        "executor.retry",
+                        1,
+                        extra={
+                            "thread": t,
+                            "lo": lo,
+                            "hi": hi,
+                            "error": type(exc).__name__,
+                        },
+                        format=self._format_name,
+                    )
+                    try:
+                        self._rebuild_chunk(t).spmv(x, out=y[lo:hi])
+                        return None
+                    except Exception as exc2:
+                        return ChunkFailure(t, lo, hi, exc2, retried=True)
+                except Exception as exc:
+                    return ChunkFailure(t, lo, hi, exc, retried=False)
 
+        failures: list[ChunkFailure] = []
         with telemetry.span("parallel.spmv", threads=self.nthreads):
             if self._pool is None:
-                work(0)
+                failure = work(0)
+                if failure is not None:
+                    failures.append(failure)
             else:
-                # Submitting all and collecting results propagates worker
-                # exceptions instead of deadlocking on them.
-                list(self._pool.map(work, range(self.nthreads)))
+                futures = [
+                    self._pool.submit(work, t) for t in range(self.nthreads)
+                ]
+                for t, future in enumerate(futures):
+                    lo, hi = self.partition.rows_of(t)
+                    try:
+                        failure = future.result(timeout=self.chunk_timeout)
+                    except FuturesTimeoutError:
+                        failure = ChunkFailure(
+                            t,
+                            lo,
+                            hi,
+                            TimeoutError(
+                                f"chunk exceeded {self.chunk_timeout}s"
+                            ),
+                            retried=False,
+                        )
+                    if failure is not None:
+                        failures.append(failure)
+        if failures:
+            detail = "; ".join(f.describe() for f in failures)
+            raise ExecutionError(
+                f"{len(failures)} of {self.nthreads} chunks failed: {detail}",
+                failures=tuple(failures),
+            )
         return y
 
     def close(self) -> None:

@@ -1,0 +1,253 @@
+"""Deterministic fault injection for the adversarial integrity suite.
+
+Each :class:`Fault` is a seeded, reproducible corruption of one stored
+array — a bit flip in ``ctl``, an out-of-range ``val_ind``, a shuffled
+``row_ptr``, a NaN value — tagged with what the validators owe us:
+
+* ``structural`` — a *structural* validator (no checksum seal) must
+  catch it: the corruption breaks an invariant the format declares.
+* ``must_catch`` — ``verify()`` on a **sealed** matrix must catch it.
+  Every fault here is must-catch: sealing closes the plausible-
+  corruption hole (an in-range delta flip keeps the structure legal
+  but changes ``y``), so a sealed matrix admits no silent corruption.
+
+:func:`inject` returns a corrupted *copy* by default (the original is
+untouched); cached derived state — decoded units, kernel plans, unit
+tables — is dropped from the copy so the corruption is actually
+observed by whatever consumes the matrix next.  The copy keeps the
+original's checksum seal, modelling data corrupted *after* it was
+sealed (the scenario the seal exists for).
+
+``tools/smoke_faults.py`` sweeps this catalogue over every compressed
+format and asserts the contract: 100% of must-catch corruptions raise,
+and no injected fault ever produces a silently wrong ``y``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Derived/cache attributes dropped from a corrupted copy so stale
+#: decodes cannot mask the injected fault.
+_CACHE_ATTRS = ("units", "_kernel_plan", "_unit_table", "_encode_cache_token")
+
+
+class FaultNotApplicable(ReproError):
+    """The requested fault cannot be expressed on this matrix.
+
+    E.g. a within-row column swap on a matrix whose rows all hold a
+    single nonzero.  Sweeps skip these rather than fail.
+    """
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One catalogued corruption.
+
+    ``apply(matrix, rng)`` mutates the (already copied) matrix in
+    place; it may raise :class:`FaultNotApplicable`.
+    """
+
+    name: str
+    formats: tuple[str, ...]
+    must_catch: bool
+    structural: bool
+    description: str
+    apply: Callable
+
+
+def _flip_ctl_bit(matrix, rng) -> None:
+    ctl = bytearray(matrix.ctl)
+    if not ctl:
+        raise FaultNotApplicable("empty ctl stream")
+    pos = int(rng.integers(len(ctl)))
+    ctl[pos] ^= 1 << int(rng.integers(8))
+    matrix.ctl = bytes(ctl)
+
+
+def _truncate_ctl(matrix, rng) -> None:
+    ctl = matrix.ctl
+    if len(ctl) < 3:
+        raise FaultNotApplicable("ctl too short to truncate")
+    cut = 1 + int(rng.integers(min(4, len(ctl) - 2)))
+    matrix.ctl = ctl[:-cut]
+
+
+def _unknown_ctl_flag(matrix, rng) -> None:
+    ctl = bytearray(matrix.ctl)
+    if not ctl:
+        raise FaultNotApplicable("empty ctl stream")
+    # The first unit header is always at offset 0.
+    ctl[0] |= 0x80
+    matrix.ctl = bytes(ctl)
+
+
+def _val_ind_out_of_range(matrix, rng) -> None:
+    val_ind = matrix.val_ind.copy()
+    if not val_ind.size:
+        raise FaultNotApplicable("no value indices")
+    pos = int(rng.integers(val_ind.size))
+    val_ind[pos] = matrix.vals_unique.size + int(rng.integers(4))
+    matrix.val_ind = val_ind
+
+
+def _shuffle_row_ptr(matrix, rng) -> None:
+    row_ptr = matrix.row_ptr.copy()
+    interior = row_ptr[1:-1]
+    if interior.size < 2 or int(interior.min()) == int(interior.max()):
+        raise FaultNotApplicable("row_ptr has no distinct interior entries")
+    for _ in range(16):
+        perm = rng.permutation(interior.size)
+        if np.any(interior[perm] != interior):
+            row_ptr[1:-1] = interior[perm]
+            matrix.row_ptr = row_ptr
+            return
+    raise FaultNotApplicable("permutation never changed row_ptr")
+
+
+def _values_array_name(matrix) -> str:
+    return "vals_unique" if hasattr(matrix, "vals_unique") else "values"
+
+
+def _nan_value(matrix, rng) -> None:
+    name = _values_array_name(matrix)
+    values = getattr(matrix, name).copy()
+    if not values.size:
+        raise FaultNotApplicable("no stored values")
+    values[int(rng.integers(values.size))] = np.nan
+    setattr(matrix, name, values)
+
+
+def _flip_value_bit(matrix, rng) -> None:
+    name = _values_array_name(matrix)
+    values = getattr(matrix, name).copy()
+    if not values.size:
+        raise FaultNotApplicable("no stored values")
+    pos = int(rng.integers(values.size))
+    bits = values.view(np.uint64)
+    # Low mantissa bit: the result stays finite and *plausible* — the
+    # corruption only a checksum seal can catch.
+    bits[pos] ^= np.uint64(1)
+    setattr(matrix, name, values)
+
+
+def _col_ind_out_of_range(matrix, rng) -> None:
+    col_ind = matrix.col_ind.copy()
+    if not col_ind.size:
+        raise FaultNotApplicable("no column indices")
+    pos = int(rng.integers(col_ind.size))
+    col_ind[pos] = matrix.ncols + int(rng.integers(4))
+    matrix.col_ind = col_ind
+
+
+def _col_ind_disorder(matrix, rng) -> None:
+    row_ptr = matrix.row_ptr
+    col_ind = matrix.col_ind.copy()
+    lengths = np.diff(row_ptr)
+    rows = np.flatnonzero(lengths >= 2)
+    if not rows.size:
+        raise FaultNotApplicable("no row with two or more nonzeros")
+    row = int(rows[int(rng.integers(rows.size))])
+    lo = int(row_ptr[row])
+    col_ind[lo], col_ind[lo + 1] = col_ind[lo + 1], col_ind[lo]
+    matrix.col_ind = col_ind
+
+
+_DU = ("csr-du", "csr-du-vi")
+_VI = ("csr-vi", "csr-du-vi")
+_RP = ("csr", "csr-vi")
+
+#: The fault catalogue the adversarial suite sweeps.
+FAULTS: tuple[Fault, ...] = (
+    Fault(
+        "ctl-bit-flip", _DU, True, False,
+        "flip one random bit of the ctl stream (may stay structurally legal)",
+        _flip_ctl_bit,
+    ),
+    Fault(
+        "ctl-truncate", _DU, True, True,
+        "drop 1-4 trailing ctl bytes (walker: truncation or nnz shortfall)",
+        _truncate_ctl,
+    ),
+    Fault(
+        "ctl-unknown-flag", _DU, True, True,
+        "set an undefined flag bit on the first unit header",
+        _unknown_ctl_flag,
+    ),
+    Fault(
+        "val-ind-out-of-range", _VI, True, True,
+        "point one val_ind entry past the unique-value table",
+        _val_ind_out_of_range,
+    ),
+    Fault(
+        "row-ptr-shuffle", _RP, True, True,
+        "permute interior row_ptr entries (breaks monotonicity)",
+        _shuffle_row_ptr,
+    ),
+    Fault(
+        "col-ind-out-of-range", _RP, True, True,
+        "point one col_ind entry past ncols",
+        _col_ind_out_of_range,
+    ),
+    Fault(
+        "col-ind-disorder", _RP, True, True,
+        "swap two adjacent column indices inside one row",
+        _col_ind_disorder,
+    ),
+    Fault(
+        "value-nan", ("csr", "csr-vi", "csr-du", "csr-du-vi"), True, True,
+        "overwrite one stored value with NaN (value policy)",
+        _nan_value,
+    ),
+    Fault(
+        "value-bit-flip", ("csr", "csr-vi", "csr-du", "csr-du-vi"), True, False,
+        "flip the low mantissa bit of one value (finite, plausible; "
+        "only a checksum seal catches it)",
+        _flip_value_bit,
+    ),
+)
+
+_BY_NAME = {f.name: f for f in FAULTS}
+
+
+def get_fault(name: str) -> Fault:
+    """Look a fault up by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown fault {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def applicable_faults(format_name: str) -> tuple[Fault, ...]:
+    """All catalogued faults that target *format_name*."""
+    return tuple(f for f in FAULTS if format_name in f.formats)
+
+
+def inject(matrix, fault: Fault | str, seed: int, *, copy_matrix: bool = True):
+    """Apply *fault* to *matrix* deterministically; return the victim.
+
+    With ``copy_matrix=True`` (default) the original is untouched and a
+    corrupted shallow copy is returned; with ``copy_matrix=False`` the
+    matrix itself is mutated (executor/cache tests corrupting shared
+    state on purpose).  Either way, cached derived state (decoded
+    units, kernel plans, unit tables) is dropped from the victim so the
+    corruption is observed, and an existing checksum seal is kept
+    as-is — the model is data corrupted *after* sealing.
+    """
+    if isinstance(fault, str):
+        fault = get_fault(fault)
+    victim = copy.copy(matrix) if copy_matrix else matrix
+    for attr in _CACHE_ATTRS:
+        victim.__dict__.pop(attr, None)
+    fault.apply(victim, np.random.default_rng(seed))
+    for attr in _CACHE_ATTRS:
+        victim.__dict__.pop(attr, None)
+    return victim

@@ -43,6 +43,16 @@ name                           kind     meaning / labels
 ``parallel.chunk``             span     one thread's chunk of one call;
                                         ``thread``, ``lo``, ``hi``, ``nnz``,
                                         ``kind`` (row/column/block)
+``validate``                   span     one integrity verification
+                                        (``matrix.verify()``); ``format``,
+                                        ``nnz``
+``kernel.fallback``            counter  guarded kernel degraded one tier;
+                                        label ``format``; payload
+                                        ``from_tier``, ``to_tier``, ``error``
+``executor.retry``             counter  chunk re-encoded (cache invalidated)
+                                        and retried after a decode failure;
+                                        label ``format``; payload ``thread``,
+                                        ``lo``, ``hi``, ``error``
 ``perf.attribution``           counter  one attribution record per bench cell;
                                         labels ``format``, ``threads``,
                                         ``placement``; numeric payload
@@ -92,6 +102,9 @@ KNOWN_EVENTS = frozenset(
         "partition.imbalance",
         "parallel.spmv",
         "parallel.chunk",
+        "validate",
+        "kernel.fallback",
+        "executor.retry",
         "perf.attribution",
         "sim.spmv",
         "sim.bound",

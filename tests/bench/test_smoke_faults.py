@@ -1,0 +1,32 @@
+"""Tier-1 wiring of tools/smoke_faults.py: the no-silent-wrong-answer sweep."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_TOOL = pathlib.Path(__file__).resolve().parents[2] / "tools" / "smoke_faults.py"
+
+
+@pytest.fixture(scope="module")
+def smoke_faults():
+    spec = importlib.util.spec_from_file_location("smoke_faults", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSmokeFaults:
+    def test_sweep_holds_contract(self, smoke_faults):
+        # Reduced seeds keep tier-1 fast; CI runs the full default sweep.
+        assert smoke_faults.run(seeds=2, size=48) == 0
+
+    def test_formats_cover_the_paper(self, smoke_faults):
+        assert set(smoke_faults.FORMATS) == {
+            "csr",
+            "csr-vi",
+            "csr-du",
+            "csr-du-vi",
+        }

@@ -16,7 +16,7 @@ from repro.compress.ctl import CtlWriter, decode_units
 from repro.compress.delta import MAX_UNIT_SIZE, _POLICIES, unitize
 from repro.compress.encode_batched import encode_ctl_batched, pack_value_index
 from repro.compress.unit_table import scan_units
-from repro.errors import FormatError
+from repro.errors import EncodingError, FormatError
 from repro.formats import CSRDUMatrix, CSRMatrix
 from tests.conftest import random_sparse_dense
 
@@ -222,3 +222,63 @@ class TestPackValueIndex:
         assert packed.dtype == np.dtype(dtype)
         assert packed.tolist() == inverse.tolist()
         assert packed.flags["C_CONTIGUOUS"]
+
+
+class TestErrorParity:
+    """Adversarial (row_ptr, col_ind) fail identically in both encoders.
+
+    Both pipelines share the structural validation in
+    :func:`repro.compress.delta.matrix_deltas`, so a malformed input
+    raises the same :class:`~repro.errors.EncodingError` class from
+    either — never a garbage stream from one and an error from the
+    other.
+    """
+
+    def _outcome(self, encode, row_ptr, col_ind):
+        try:
+            return ("ok", bytes(encode(row_ptr, col_ind)))
+        except EncodingError:
+            return ("error", "EncodingError")
+
+    def _both(self, row_ptr, col_ind):
+        row_ptr = np.asarray(row_ptr, dtype=np.int64)
+        col_ind = np.asarray(col_ind, dtype=np.int64)
+        ref = self._outcome(reference_ctl, row_ptr, col_ind)
+        bat = self._outcome(
+            lambda rp, ci: encode_ctl_batched(rp, ci).ctl, row_ptr, col_ind
+        )
+        return ref, bat
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        row_ptr=st.lists(
+            st.integers(min_value=-3, max_value=12), min_size=0, max_size=6
+        ),
+        col_ind=st.lists(
+            st.integers(min_value=0, max_value=9), min_size=0, max_size=10
+        ),
+    )
+    def test_adversarial_inputs_agree(self, row_ptr, col_ind):
+        ref, bat = self._both(row_ptr, col_ind)
+        assert ref == bat
+
+    @pytest.mark.parametrize(
+        "row_ptr, col_ind",
+        [
+            ([0, -1, 3], [0, 1, 2]),        # negative interior
+            ([1, 2, 3], [0, 1, 2]),         # nonzero start
+            ([0, 2, 1, 3], [0, 1, 2]),      # non-monotone
+            ([0, 1, 5], [0, 1, 2]),         # end past nnz
+            ([0, 1, 2], [0, 1, 2]),         # end short of nnz
+            ([], [0, 1]),                   # empty row_ptr, nnz > 0
+        ],
+    )
+    def test_known_bad_row_ptr(self, row_ptr, col_ind):
+        ref, bat = self._both(row_ptr, col_ind)
+        assert ref == bat == ("error", "EncodingError")
+
+    def test_good_input_still_byte_identical(self):
+        rp, ci = from_rows([[0, 3, 7], [], [2, 4]])
+        ref, bat = self._both(rp, ci)
+        assert ref[0] == "ok"
+        assert ref == bat

@@ -75,3 +75,41 @@ class TestSpmmGenericDefault:
     def test_empty_rows(self):
         dense, m, X = _case("csc", empty_rows=True, seed=4)
         assert np.allclose(m.spmm(X), dense @ X, atol=1e-9)
+
+
+class TestSpmmAliasing:
+    """out= aliasing X: plannable kernels copy, the generic path rejects."""
+
+    @pytest.mark.parametrize("fmt", PLANNED)
+    def test_planned_out_overlapping_x_is_safe(self, fmt):
+        """The multi-vector kernels materialize every product before
+        writing out, so Y = A X is correct even when out shares memory
+        with X (copy semantics)."""
+        dense, m, _ = _case(fmt, quantize=8, seed=13)
+        k = 3
+        buf = np.zeros((max(m.nrows, m.ncols), k))
+        X = buf[: m.ncols]
+        X[:] = np.random.default_rng(14).random((m.ncols, k)) - 0.5
+        expected = dense @ X.copy()
+        Y = m.spmm(X, out=buf[: m.nrows])
+        assert Y.base is buf
+        assert np.allclose(Y, expected, atol=1e-9)
+
+    @pytest.mark.parametrize("fmt", GENERIC)
+    def test_generic_out_overlapping_x_rejected(self, fmt):
+        """The column-loop default writes out while still reading X, so
+        an overlap would corrupt later columns; it raises instead."""
+        from repro.errors import IntegrityError
+
+        _, m, _ = _case(fmt, seed=13)
+        k = 2
+        buf = np.zeros((max(m.nrows, m.ncols), k))
+        X = buf[: m.ncols]
+        with pytest.raises(IntegrityError):
+            m.spmm(X, out=buf[: m.nrows])
+
+    @pytest.mark.parametrize("fmt", GENERIC)
+    def test_generic_disjoint_out_still_works(self, fmt):
+        dense, m, X = _case(fmt, seed=13)
+        out = np.empty((m.nrows, X.shape[1]))
+        assert np.allclose(m.spmm(X, out=out), dense @ X, atol=1e-9)

@@ -116,3 +116,62 @@ class TestReader:
             self._read(
                 "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
             )
+
+
+class TestMalformedLineNumbers:
+    """Every malformed-input path names the offending 1-based line."""
+
+    HEADER = "%%MatrixMarket matrix coordinate real general\n"
+
+    def _read(self, text):
+        return read_matrix_market(io.StringIO(text))
+
+    def _fails_at(self, text, lineno, match):
+        with pytest.raises(FormatError, match=match) as ei:
+            self._read(text)
+        assert f"line {lineno}:" in str(ei.value)
+
+    def test_empty_file(self):
+        self._fails_at("", 1, "missing MatrixMarket header")
+
+    def test_bad_header_line(self):
+        self._fails_at("%%MatrixMarket tensor whatever\n", 1, "header")
+
+    def test_missing_size_line(self):
+        self._fails_at(self.HEADER, 2, "missing size line")
+
+    def test_bad_size_line_counts_comments(self):
+        """Comment lines still advance the reported line number."""
+        self._fails_at(
+            self.HEADER + "% a comment\n% another\nnot numbers\n",
+            4,
+            "bad size line",
+        )
+
+    def test_negative_dimensions(self):
+        self._fails_at(self.HEADER + "-2 3 1\n", 2, "negative dimensions")
+
+    def test_truncated_entry(self):
+        self._fails_at(
+            self.HEADER + "2 2 2\n1 1 1.0\n", 4, "truncated entry 2 of 2"
+        )
+
+    def test_short_entry_line(self):
+        self._fails_at(self.HEADER + "2 2 1\n1 1\n", 3, "truncated")
+
+    def test_non_numeric_entry(self):
+        self._fails_at(self.HEADER + "2 2 1\n1 x 1.0\n", 3, "non-numeric")
+
+    def test_out_of_range_entry(self):
+        self._fails_at(
+            self.HEADER + "2 2 1\n3 1 1.0\n", 3, r"outside the declared"
+        )
+        self._fails_at(
+            self.HEADER + "2 2 1\n0 1 1.0\n", 3, "1-based"
+        )
+
+    def test_file_path_round_trip_still_works(self, tmp_path):
+        dense = random_sparse_dense(7, 5, seed=4)
+        path = tmp_path / "ok.mtx"
+        write_matrix_market(CSRMatrix.from_dense(dense), path)
+        assert np.allclose(read_matrix_market(path).to_dense(), dense)

@@ -132,3 +132,173 @@ class TestReduce:
         assert np.array_equal(
             reduce_partial_results(parts, out=out), reduce_partial_results(parts)
         )
+
+
+class TestReduceAliasing:
+    """Aliasing contract of reduce_partial_results(out=)."""
+
+    def test_out_may_be_first_partial(self):
+        parts = [np.ones(3), 2 * np.ones(3)]
+        ret = reduce_partial_results(parts, out=parts[0])
+        assert ret is parts[0]
+        assert parts[0].tolist() == [3.0, 3.0, 3.0]
+
+    def test_out_as_later_partial_rejected(self):
+        from repro.errors import IntegrityError
+
+        parts = [np.ones(3), 2 * np.ones(3)]
+        with pytest.raises(IntegrityError, match="later partial"):
+            reduce_partial_results(parts, out=parts[1])
+
+    def test_out_overlapping_later_partial_rejected(self):
+        from repro.errors import IntegrityError
+
+        buf = np.zeros(6)
+        parts = [np.ones(3), buf[2:5]]
+        with pytest.raises(IntegrityError):
+            reduce_partial_results(parts, out=buf[:3])
+
+    def test_disjoint_views_allowed(self):
+        buf = np.zeros(6)
+        parts = [np.ones(3), 2 * np.ones(3)]
+        ret = reduce_partial_results(parts, out=buf[3:])
+        assert ret.tolist() == [3.0, 3.0, 3.0]
+
+
+class TestExecutorRobustness:
+    """Per-chunk failure handling: retry, aggregation, timeout."""
+
+    @pytest.fixture
+    def collector(self):
+        from repro import telemetry
+
+        prev = telemetry.set_collector(telemetry.Collector())
+        try:
+            yield telemetry.get_collector()
+        finally:
+            telemetry.set_collector(prev)
+
+    def _events(self, collector, name):
+        return [ev for ev in collector.snapshot() if ev.name == name]
+
+    def test_out_aliasing_x_rejected(self, csr):
+        from repro.errors import IntegrityError
+
+        x = np.zeros(max(csr.nrows, csr.ncols))
+        with ParallelSpMV(csr, 2) as p:
+            with pytest.raises(IntegrityError):
+                p(x[: csr.ncols], out=x[: csr.nrows])
+
+    def test_retry_recovers_bit_identically(self, csr, collector):
+        """An in-place corrupted cached chunk is invalidated, re-encoded
+        and retried; the answer is the clean run's exact bits."""
+        from repro.compress.encode_cache import ConvertCache
+        from repro.robust import inject
+
+        x = np.random.default_rng(31).random(csr.ncols)
+        with ParallelSpMV(
+            csr, 3, format_name="csr-du", convert_cache=ConvertCache()
+        ) as p:
+            clean = p(x).copy()
+            corrupted = p.chunks[1]
+            inject(p.chunks[1], "ctl-truncate", 0, copy_matrix=False)
+            got = p(x)
+            assert p.chunks[1] is not corrupted  # rebuilt, not patched
+        assert np.array_equal(got, clean)
+        retries = self._events(collector, "executor.retry")
+        assert len(retries) == 1
+        assert retries[0].attrs["thread"] == 1
+
+    def test_nonretryable_failure_aggregated(self, csr):
+        from repro.errors import ExecutionError
+
+        class Broken:
+            def spmv(self, x, out=None):
+                raise ValueError("kaboom")
+
+        with ParallelSpMV(csr, 2) as p:
+            p.chunks[0] = Broken()
+            with pytest.raises(ExecutionError) as ei:
+                p(np.ones(csr.ncols))
+        (failure,) = ei.value.failures
+        assert failure.thread == 0
+        assert (failure.lo, failure.hi) == p.partition.rows_of(0)
+        assert not failure.retried
+        assert "kaboom" in str(ei.value)
+        assert "rows [" in failure.describe()
+
+    def test_persistent_decode_failure_fails_after_one_retry(
+        self, csr, collector
+    ):
+        from repro.errors import EncodingError, ExecutionError
+
+        class Poisoned:
+            def spmv(self, x, out=None):
+                raise EncodingError("still broken")
+
+        with ParallelSpMV(csr, 2, format_name="csr-du") as p:
+            p.chunks[1] = Poisoned()
+            p._rebuild_chunk = lambda t: Poisoned()  # rebuild doesn't help
+            with pytest.raises(ExecutionError) as ei:
+                p(np.ones(csr.ncols))
+        (failure,) = ei.value.failures
+        assert failure.retried
+        assert len(self._events(collector, "executor.retry")) == 1
+
+    def test_all_chunks_failing_all_reported(self, csr):
+        from repro.errors import ExecutionError
+
+        class Broken:
+            def spmv(self, x, out=None):
+                raise ValueError("kaboom")
+
+        with ParallelSpMV(csr, 3) as p:
+            for t in range(3):
+                p.chunks[t] = Broken()
+            with pytest.raises(ExecutionError) as ei:
+                p(np.ones(csr.ncols))
+        assert len(ei.value.failures) == 3
+        assert [f.thread for f in ei.value.failures] == [0, 1, 2]
+
+    def test_chunk_timeout_reported(self, csr):
+        import time
+
+        from repro.errors import ExecutionError
+
+        class Slow:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def spmv(self, x, out=None):
+                time.sleep(0.4)
+                return self.inner.spmv(x, out=out)
+
+        with ParallelSpMV(csr, 2, chunk_timeout=0.05) as p:
+            p.chunks[0] = Slow(p.chunks[0])
+            with pytest.raises(ExecutionError) as ei:
+                p(np.ones(csr.ncols))
+        (failure,) = ei.value.failures
+        assert isinstance(failure.error, TimeoutError)
+        assert "exceeded" in str(failure.error)
+
+    def test_bad_chunk_timeout_rejected(self, csr):
+        with pytest.raises(PartitionError, match="chunk_timeout"):
+            ParallelSpMV(csr, 2, chunk_timeout=0.0)
+
+    def test_success_after_failure(self, csr):
+        """One failing call does not poison the executor."""
+        from repro.errors import ExecutionError
+
+        class Broken:
+            def spmv(self, x, out=None):
+                raise ValueError("kaboom")
+
+        x = np.random.default_rng(33).random(csr.ncols)
+        with ParallelSpMV(csr, 2) as p:
+            expected = p(x).copy()
+            good = p.chunks[0]
+            p.chunks[0] = Broken()
+            with pytest.raises(ExecutionError):
+                p(x)
+            p.chunks[0] = good
+            assert np.array_equal(p(x), expected)

@@ -79,6 +79,8 @@ REQUIRED_PAYLOADS: dict[str, frozenset] = {
         }
     ),
     "parallel.chunk": frozenset({"thread", "lo", "hi", "nnz", "kind"}),
+    "kernel.fallback": frozenset({"format", "from_tier", "to_tier", "error"}),
+    "executor.retry": frozenset({"format", "thread", "lo", "hi", "error"}),
 }
 
 
@@ -173,6 +175,114 @@ def check_parallel_chunks(nthreads: int = 4, calls: int = 2) -> int:
     return 0
 
 
+def check_fault_events() -> int:
+    """Exercise the robustness instrumentation; validate its events.
+
+    Two live checks under a scoped collector:
+
+    * a :class:`~repro.robust.guard.GuardedKernel` whose first tier
+      always fails must fall back, produce the right answer, and emit
+      exactly one ``kernel.fallback`` counter with the full payload;
+    * a :class:`~repro.parallel.executor.ParallelSpMV` whose cached
+      chunk encode is corrupted in place must invalidate + re-encode +
+      retry, produce the clean answer, and emit ``executor.retry``.
+    """
+    import numpy as np
+
+    from repro import telemetry
+    from repro.compress.encode_cache import ConvertCache
+    from repro.errors import EncodingError
+    from repro.formats.conversions import convert
+    from repro.formats.csr import CSRMatrix
+    from repro.kernels.registry import get_kernel
+    from repro.parallel.executor import ParallelSpMV
+    from repro.robust import GuardedKernel, inject
+
+    rng = np.random.default_rng(23)
+    dense = (rng.random((80, 80)) < 0.1) * rng.random((80, 80))
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.random(80)
+
+    def failing_tier(matrix, x):
+        raise EncodingError("injected tier failure")
+
+    failing_tier.tier = "batched"
+
+    prev = telemetry.set_collector(telemetry.Collector())
+    try:
+        du = convert(csr, "csr-du")
+        expected = du.spmv(x)
+        guarded = GuardedKernel(
+            "csr-du", chain=(failing_tier, get_kernel("csr-du", "vectorized"))
+        )
+        got = guarded(du, x)
+        with ParallelSpMV(
+            csr, 2, format_name="csr-du", convert_cache=ConvertCache()
+        ) as par:
+            clean = par(x).copy()
+            inject(par.chunks[0], "ctl-truncate", 0, copy_matrix=False)
+            retried = par(x)
+        events = [
+            dataclasses.asdict(ev)
+            for ev in telemetry.get_collector().snapshot()
+        ]
+    finally:
+        telemetry.set_collector(prev)
+    if not np.array_equal(got, expected):
+        print("smoke_trace: guarded fallback result diverged", file=sys.stderr)
+        return 1
+    if not np.array_equal(retried, clean):
+        print("smoke_trace: retried executor result diverged", file=sys.stderr)
+        return 1
+    for i, event in enumerate(events):
+        try:
+            validate_event(event)
+        except TelemetryError as exc:
+            print(
+                f"smoke_trace: fault event {i} invalid: {exc}: {event!r}",
+                file=sys.stderr,
+            )
+            return 1
+    unknown = {e["name"] for e in events} - KNOWN_EVENTS
+    if unknown:
+        print(
+            f"smoke_trace: undocumented fault event names {sorted(unknown)}",
+            file=sys.stderr,
+        )
+        return 1
+    if _check_payloads(events):
+        return 1
+    fallbacks = [e for e in events if e["name"] == "kernel.fallback"]
+    retries = [e for e in events if e["name"] == "executor.retry"]
+    if len(fallbacks) != 1:
+        print(
+            f"smoke_trace: expected 1 kernel.fallback event, got "
+            f"{len(fallbacks)}",
+            file=sys.stderr,
+        )
+        return 1
+    if fallbacks[0]["attrs"]["from_tier"] != "batched" or (
+        fallbacks[0]["attrs"]["to_tier"] != "vectorized"
+    ):
+        print(
+            f"smoke_trace: kernel.fallback tiers wrong: {fallbacks[0]!r}",
+            file=sys.stderr,
+        )
+        return 1
+    if len(retries) != 1:
+        print(
+            f"smoke_trace: expected 1 executor.retry event, got "
+            f"{len(retries)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"smoke_trace: fault check OK ({len(fallbacks)} fallback, "
+        f"{len(retries)} retry events)"
+    )
+    return 0
+
+
 def run(
     *,
     scale: float = 0.03125,
@@ -230,7 +340,10 @@ def run(
         if _check_payloads(events):
             return 1
         print(f"smoke_trace: {len(events)} events, all valid")
-        return check_parallel_chunks()
+        rc = check_parallel_chunks()
+        if rc:
+            return rc
+        return check_fault_events()
     finally:
         if owned and path is not None and os.path.exists(path):
             os.unlink(path)
