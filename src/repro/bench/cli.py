@@ -16,6 +16,19 @@ counters instead of requiring a trace file::
     python -m repro.bench table2 --scale 0.0625 --trace /tmp/t.jsonl
     python -m repro.bench profile table2 --scale 0.0625 --top 10
 
+Live observability: ``--obs`` installs a :mod:`repro.obs` runtime for
+the run (chunk/cell latency histograms, windowed fallback/retry/cache
+rates, resource gauges, the default SLO rule set), ``--metrics-out``
+writes the final OpenMetrics snapshot (``--obs-interval N`` rewrites
+it every N seconds while running), ``--rule`` adds SLO rules, and
+``--stacks-out`` runs the sampling profiler, writing flamegraph
+collapsed stacks::
+
+    python -m repro.bench table2 --scale 0.0625 --obs \
+        --metrics-out metrics.prom --obs-interval 5 \
+        --rule 'rate(convert.cache.miss[10s]) > 100'
+    python -m repro.bench table2 --scale 0.0625 --stacks-out stacks.txt
+
 ``report-html`` works like ``profile`` but renders the
 :mod:`repro.bench.dashboard` report (attribution tables, per-thread
 timelines, baseline deltas) instead; ``perf-gate`` delegates everything
@@ -202,6 +215,61 @@ def main(argv: list[str] | None = None) -> int:
             "baseline-deltas section"
         ),
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "enable the live observability runtime (latency histograms, "
+            "windowed rates, resource gauges, default SLO rules)"
+        ),
+    )
+    parser.add_argument(
+        "--obs-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "periodically evaluate SLO rules and flush a snapshot "
+            "(rewrites --metrics-out in place each tick); 0 = final only"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the final OpenMetrics text snapshot here "
+            "(implies --obs)"
+        ),
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help=(
+            "additional SLO rule (repeatable), e.g. "
+            "'rate(kernel.fallback[10s]) > 0' or "
+            "'p99(spmv.chunk.seconds) > 5 * p50(spmv.chunk.seconds)'"
+        ),
+    )
+    parser.add_argument(
+        "--stacks-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "run the sampling wall-clock profiler and write flamegraph "
+            "collapsed stacks here (implies --obs)"
+        ),
+    )
+    parser.add_argument(
+        "--stacks-hz",
+        type=float,
+        default=97.0,
+        help="sampling profiler rate in Hz (default 97)",
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
@@ -225,9 +293,29 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_path=args.resume,
     )
     trace_on = profile or html_report or args.trace or args.chrome_trace
+    obs_on = bool(
+        args.obs
+        or args.metrics_out
+        or args.stacks_out
+        or args.rule
+        or args.obs_interval
+    )
     prev_collector = (
         telemetry.set_collector(telemetry.Collector()) if trace_on else None
     )
+    runtime = prev_runtime = None
+    if obs_on:
+        from repro import obs
+        from repro.obs.rules import default_rules, parse_rule
+
+        rules = default_rules() + [parse_rule(r) for r in args.rule]
+        runtime = obs.ObsRuntime(rules=rules)
+        prev_runtime = obs.set_runtime(runtime)
+        runtime.start_resource_monitor()
+        if args.stacks_out:
+            runtime.start_profiler(args.stacks_hz)
+        if args.obs_interval > 0:
+            runtime.start_flusher(args.obs_interval, args.metrics_out)
     try:
         blocks = []
         structured: dict[str, object] = {}
@@ -249,14 +337,52 @@ def main(argv: list[str] | None = None) -> int:
             from repro.bench.record import record_run
 
             record_run(structured, config, args.json)
+        if runtime is not None:
+            # Resource monitor and rules get one final, deterministic
+            # pass before anything is exported: the last sample, the
+            # final rule evaluation, and the obs.snapshot event all
+            # land in the trace written below.
+            if runtime.monitor is not None:
+                runtime.monitor.sample_once()
+            runtime.flush_snapshot()
         if trace_on:
             collector = telemetry.get_collector()
             written = export_all(
-                collector, jsonl_path=args.trace, chrome_path=args.chrome_trace
+                collector,
+                jsonl_path=args.trace,
+                chrome_path=args.chrome_trace,
+                openmetrics_path=args.metrics_out,
+                obs_runtime=runtime,
             )
             for kind, n in written.items():
-                target = args.trace if kind == "jsonl" else args.chrome_trace
-                print(f"[telemetry] wrote {n} {kind} events to {target}")
+                target = {
+                    "jsonl": args.trace,
+                    "chrome": args.chrome_trace,
+                    "openmetrics": args.metrics_out,
+                }[kind]
+                unit = "series samples" if kind == "openmetrics" else "events"
+                print(f"[telemetry] wrote {n} {kind} {unit} to {target}")
+        elif runtime is not None and args.metrics_out:
+            from repro.telemetry.export import write_openmetrics
+
+            n = write_openmetrics(
+                telemetry.Collector(), args.metrics_out, obs_runtime=runtime
+            )
+            print(
+                f"[obs] wrote {n} openmetrics series samples to "
+                f"{args.metrics_out}"
+            )
+        if runtime is not None:
+            if args.stacks_out and runtime.profiler is not None:
+                runtime.profiler.stop()
+                stacks = runtime.profiler.write_collapsed(args.stacks_out)
+                print(
+                    f"[obs] wrote {stacks} collapsed stacks to "
+                    f"{args.stacks_out}"
+                )
+            for alert in runtime.alerts:
+                print(f"[obs] ALERT {alert.describe()}")
+        if trace_on:
             if profile:
                 from repro.perf.imbalance import format_report, summarize_parallel
 
@@ -284,6 +410,11 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 print(f"[dashboard] wrote {path}")
     finally:
+        if runtime is not None:
+            from repro import obs
+
+            runtime.close()
+            obs.set_runtime(prev_runtime)
         if trace_on:
             telemetry.set_collector(prev_collector)
     return 0

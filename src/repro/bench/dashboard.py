@@ -243,6 +243,62 @@ def _balance_table(events: Iterable[Any], *, max_calls: int = 30) -> str:
     )
 
 
+def _reliability_section(events: Iterable[Any], *, max_alerts: int = 50) -> str:
+    """Run-health headline: cache hit ratio, degradations, SLO alerts.
+
+    Rebuilt from the raw counter events (not collector aggregates) so
+    the section renders identically from a live run or a replayed
+    JSONL trace.
+    """
+    totals = {
+        "convert.cache.hit": 0.0,
+        "convert.cache.miss": 0.0,
+        "kernel.fallback": 0.0,
+        "executor.retry": 0.0,
+    }
+    alerts: list[dict] = []
+    for ev in _as_dicts(events):
+        name = ev.get("name")
+        if name in totals and ev.get("kind") == "counter":
+            totals[name] += float(ev.get("value", 0.0))
+        elif name == "obs.alert":
+            alerts.append(ev)
+    lookups = totals["convert.cache.hit"] + totals["convert.cache.miss"]
+    ratio = totals["convert.cache.hit"] / lookups if lookups else 0.0
+    degraded = totals["kernel.fallback"] or totals["executor.retry"] or alerts
+    cls = "bad" if degraded else "ok"
+    parts = [
+        f"<p>Encode-cache hit ratio <b>{ratio:.1%}</b> "
+        f"({totals['convert.cache.hit']:g} hits / "
+        f"{totals['convert.cache.miss']:g} misses); "
+        f"<span class='{cls}'>{totals['kernel.fallback']:g} kernel "
+        f"fallbacks, {totals['executor.retry']:g} executor retries, "
+        f"{len(alerts)} SLO alerts</span>.</p>"
+    ]
+    if alerts:
+        head = (
+            "<tr><th class=l>rule</th><th class=l>expression</th>"
+            "<th>observed</th><th>bound</th></tr>"
+        )
+        body = []
+        for ev in alerts[:max_alerts]:
+            attrs = ev.get("attrs", {})
+            body.append(
+                "<tr>"
+                f"<td class=l>{_esc(attrs.get('rule', '?'))}</td>"
+                f"<td class=l>{_esc(attrs.get('expr', '?'))}</td>"
+                f"<td class=bad>{_esc(attrs.get('value', '?'))}</td>"
+                f"<td>{_esc(attrs.get('threshold', '?'))}</td></tr>"
+            )
+        parts.append(f"<table>{head}{''.join(body)}</table>")
+        if len(alerts) > max_alerts:
+            parts.append(
+                f"<p class=note>Showing {max_alerts} of {len(alerts)} "
+                "alerts.</p>"
+            )
+    return "".join(parts)
+
+
 def _delta_table(baseline: dict, current: dict, *, top: int = 20) -> str:
     deviations, mismatches = compare_runs(baseline, current)
     moved = sorted(deviations, key=lambda d: -d.relative)
@@ -290,6 +346,8 @@ def render_dashboard(
         _timeline_svg(evs),
         "<h2>Parallel balance</h2>",
         _balance_table(evs),
+        "<h2>Reliability and SLO alerts</h2>",
+        _reliability_section(evs),
     ]
     if baseline is not None and current is not None:
         sections.append("<h2>Baseline deltas</h2>")

@@ -26,6 +26,7 @@ from repro.machine.costmodel import CostModel, default_cost_model
 from repro.machine.simulate import simulate_spmv
 from repro.machine.topology import MachineSpec, clovertown_8core
 from repro.matrices.collection import realize
+from repro.obs import core as obs
 from repro.perf import attribution as perf_attribution
 from repro.perf.attribution import Attribution
 from repro.perf.bytes import ByteBreakdown, bytes_per_iteration
@@ -138,6 +139,10 @@ def run_format_matrix(
     so repeated cells over one matrix encode once; the setup wall time
     actually paid lands in each attribution's ``setup_s``.
     """
+    # Live observability: one histogram sample per finished cell, so a
+    # scraper watching a long sweep sees throughput and tail cells.
+    runtime = obs.get_runtime()
+    cell_t0 = time.perf_counter() if runtime is not None else 0.0
     with telemetry.span(
         "bench.cell", matrix_id=matrix_id, format=format_name
     ) as cell:
@@ -235,6 +240,13 @@ def run_format_matrix(
                 if telemetry.enabled():
                     perf_attribution.record(att)
         cell.add(nnz=converted.nnz)
+    if runtime is not None:
+        runtime.observe(
+            "bench.cell.seconds",
+            time.perf_counter() - cell_t0,
+            format=format_name,
+        )
+        runtime.mark("bench.cells", 1, format=format_name)
     return MatrixResult(
         matrix_id=matrix_id,
         format_name=format_name,

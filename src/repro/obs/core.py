@@ -1,0 +1,358 @@
+"""Live observability runtime: the streaming counterpart to telemetry.
+
+:mod:`repro.telemetry` records an *event stream* for post-hoc analysis;
+this module aggregates *while the system runs*: histograms of chunk
+latencies, sliding-window rates of the fallback/retry/cache counters,
+process gauges from the resource monitor, and SLO rules evaluated on
+point-in-time snapshots.  Its contract mirrors telemetry's exactly:
+
+* **Disabled by default.**  The module-level ``_runtime`` is ``None``
+  and every entry point (:func:`observe`, :func:`mark`,
+  :func:`set_gauge`) is a single attribute load plus ``is None`` test,
+  pinned by ``tests/telemetry/test_overhead.py`` -- hot paths pay
+  nothing, and results are bit-identical either way.
+* **Scoped enabling.**  :func:`configure` installs a fresh
+  :class:`ObsRuntime`; :func:`set_runtime` swaps an explicit one in
+  and returns the previous (tests, the bench CLI's ``--obs``).
+* **Telemetry is the event sink.**  Fired alerts and periodic
+  snapshots are emitted as ``obs.alert`` / ``obs.snapshot`` counter
+  events through :mod:`repro.telemetry.core` (no-ops when tracing is
+  off), so the JSONL trace, the bench summary and the HTML dashboard
+  all see what the live engine saw.
+
+Metric keys are ``(name, sorted labels)`` exactly like the telemetry
+collector's, so ``kernel.fallback{format=csr-du}`` aggregates the same
+way in both worlds.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Iterable
+
+from repro.obs.histogram import DEFAULT_GROWTH, StreamingHistogram
+from repro.obs.openmetrics import render_openmetrics
+from repro.obs.profiler import DEFAULT_HZ, SamplingProfiler
+from repro.obs.resource import DEFAULT_INTERVAL_S, ResourceMonitor
+from repro.obs.rules import Alert, Rule, RuleEngine, default_rules
+from repro.obs.window import WindowedCounter
+from repro.telemetry import core as telemetry
+
+__all__ = [
+    "ObsRuntime",
+    "configure",
+    "get_runtime",
+    "set_runtime",
+    "enabled",
+    "observe",
+    "mark",
+    "set_gauge",
+]
+
+#: Rate windows always present in snapshots (rules add their own).
+DEFAULT_WINDOWS = (10.0, 60.0)
+
+#: Fired alerts kept in the runtime's bounded log.
+MAX_ALERTS = 256
+
+_KeyT = tuple[str, tuple[tuple[str, Any], ...]]
+
+
+def _key(name: str, labels: dict[str, Any]) -> _KeyT:
+    return (name, tuple(sorted(labels.items())) if labels else ())
+
+
+class _SnapshotFlusher(threading.Thread):
+    """Periodic rule evaluation + snapshot flush (the ``--obs-interval``
+    machinery); writes the OpenMetrics file in place on every tick so a
+    scraper tailing the path always sees a complete exposition."""
+
+    def __init__(
+        self, runtime: "ObsRuntime", interval_s: float, path: str | None
+    ) -> None:
+        super().__init__(name="obs-flusher", daemon=True)
+        self.runtime = runtime
+        self.interval_s = interval_s
+        self.path = path
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.runtime.flush_snapshot(self.path)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.join(timeout=5.0)
+
+
+class ObsRuntime:
+    """Aggregating metric runtime: histograms, windowed counters,
+    gauges, rules, and the optional monitor/profiler/flusher threads.
+
+    Parameters
+    ----------
+    rules:
+        SLO rules (Rule objects or rule-syntax strings); ``None``
+        installs :func:`repro.obs.rules.default_rules`, ``()`` none.
+    histogram_growth:
+        Bucket growth factor for every histogram this runtime creates.
+    clock:
+        Monotonic clock shared by all windowed counters (injectable
+        for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        rules: Iterable[Rule | str] | None = None,
+        histogram_growth: float = DEFAULT_GROWTH,
+        clock=time.monotonic,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._histogram_growth = histogram_growth
+        self._histograms: dict[_KeyT, StreamingHistogram] = {}
+        self._counters: dict[_KeyT, WindowedCounter] = {}
+        self._gauges: dict[_KeyT, float] = {}
+        self.engine = RuleEngine(
+            default_rules() if rules is None else rules
+        )
+        self.alerts: deque[Alert] = deque(maxlen=MAX_ALERTS)
+        self.created_at = time.time()
+        self._created_mono = clock()
+        self.monitor: ResourceMonitor | None = None
+        self.profiler: SamplingProfiler | None = None
+        self._flusher: _SnapshotFlusher | None = None
+
+    # -- recording ---------------------------------------------------------
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record *value* into the histogram ``name`` + *labels*."""
+        key = _key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            with self._lock:
+                hist = self._histograms.setdefault(
+                    key, StreamingHistogram(growth=self._histogram_growth)
+                )
+        hist.observe(value)
+
+    def mark(self, name: str, value: float = 1.0, **labels) -> None:
+        """Accumulate *value* onto the windowed counter ``name`` + *labels*."""
+        key = _key(name, labels)
+        counter = self._counters.get(key)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(
+                    key, WindowedCounter(clock=self._clock)
+                )
+        counter.add(value)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Record the current *value* of ``name`` (last write wins)."""
+        with self._lock:
+            self._gauges[_key(name, labels)] = float(value)
+
+    # -- snapshots ---------------------------------------------------------
+    def _rate_windows(self) -> tuple[float, ...]:
+        windows = set(DEFAULT_WINDOWS)
+        for rule in self.engine.rules:
+            if rule.kind == "rate" and rule.window_s:
+                windows.add(float(rule.window_s))
+        return tuple(sorted(windows))
+
+    def snapshot(self) -> dict:
+        """Structured point-in-time state (plain data, JSON-safe)."""
+        windows = self._rate_windows()
+        with self._lock:
+            histograms = list(self._histograms.items())
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+        # Label values may mix types (thread ints, format strings), so
+        # order by the stringified key, never by comparing values.
+        by_key = lambda kv: (kv[0][0], str(kv[0][1]))  # noqa: E731
+        snap: dict[str, Any] = {
+            "ts": time.time(),
+            "uptime_s": self._clock() - self._created_mono,
+            "histograms": [
+                {"name": name, "labels": dict(labels), **hist.snapshot()}
+                for (name, labels), hist in sorted(histograms, key=by_key)
+            ],
+            "counters": [
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    **counter.snapshot(windows),
+                }
+                for (name, labels), counter in sorted(counters, key=by_key)
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(gauges, key=by_key)
+            ],
+            "alerts": [a.as_dict() for a in self.alerts],
+            "rules": [
+                {"name": r.name, "expr": r.expr} for r in self.engine.rules
+            ],
+        }
+        if self.profiler is not None:
+            snap["profiler"] = self.profiler.snapshot()
+        return snap
+
+    def render_openmetrics(self) -> str:
+        """The current snapshot as OpenMetrics text."""
+        return render_openmetrics(self.snapshot())
+
+    # -- rules -------------------------------------------------------------
+    def evaluate_rules(self, now: float | None = None) -> list[Alert]:
+        """Evaluate every rule on a fresh snapshot; log + emit alerts."""
+        fired = self.engine.evaluate(self.snapshot(), now)
+        for alert in fired:
+            self.alerts.append(alert)
+            telemetry.count(
+                "obs.alert",
+                1,
+                extra={
+                    "expr": alert.expr,
+                    "metric": alert.metric,
+                    "value": alert.value,
+                    "threshold": alert.threshold,
+                },
+                rule=alert.rule,
+            )
+        return fired
+
+    def flush_snapshot(self, path: str | None = None) -> dict:
+        """Evaluate rules, take a snapshot, optionally write OpenMetrics.
+
+        One ``obs.snapshot`` telemetry counter event records the flush
+        (sizes only -- the full state lives in the OpenMetrics file,
+        not the trace).
+        """
+        self.evaluate_rules()
+        snap = self.snapshot()
+        telemetry.count(
+            "obs.snapshot",
+            1,
+            extra={
+                "histograms": len(snap["histograms"]),
+                "counters": len(snap["counters"]),
+                "gauges": len(snap["gauges"]),
+                "alerts": len(snap["alerts"]),
+            },
+        )
+        if path:
+            text = render_openmetrics(snap)
+            tmp = f"{path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            import os
+
+            os.replace(tmp, path)
+        return snap
+
+    def write_snapshot_json(self, path: str) -> dict:
+        """Write :meth:`snapshot` as JSON (machine-readable sibling)."""
+        snap = self.snapshot()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(snap, fh, indent=1, sort_keys=True)
+        return snap
+
+    # -- background threads ------------------------------------------------
+    def start_resource_monitor(
+        self, interval_s: float = DEFAULT_INTERVAL_S
+    ) -> ResourceMonitor:
+        if self.monitor is None:
+            self.monitor = ResourceMonitor(self, interval_s).start()
+        return self.monitor
+
+    def start_profiler(self, hz: float = DEFAULT_HZ) -> SamplingProfiler:
+        if self.profiler is None:
+            self.profiler = SamplingProfiler(hz).start()
+        return self.profiler
+
+    def start_flusher(
+        self, interval_s: float, path: str | None = None
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if self._flusher is None:
+            self._flusher = _SnapshotFlusher(self, interval_s, path)
+            self._flusher.start()
+
+    def close(self) -> None:
+        """Stop every background thread (idempotent)."""
+        if self._flusher is not None:
+            self._flusher.stop()
+            self._flusher = None
+        if self.monitor is not None:
+            self.monitor.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
+
+    def __enter__(self) -> "ObsRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Module-level surface: one attribute check when disabled.
+# ---------------------------------------------------------------------------
+
+_runtime: ObsRuntime | None = None
+
+
+def configure(enabled: bool = True, **kwargs) -> ObsRuntime | None:
+    """Install a fresh :class:`ObsRuntime` (or disable observability).
+
+    Returns the new runtime (``None`` when disabling).  The previous
+    runtime's background threads are stopped.
+    """
+    global _runtime
+    if _runtime is not None:
+        _runtime.close()
+    _runtime = ObsRuntime(**kwargs) if enabled else None
+    return _runtime
+
+
+def get_runtime() -> ObsRuntime | None:
+    """The active runtime, or ``None`` when observability is disabled."""
+    return _runtime
+
+
+def set_runtime(runtime: ObsRuntime | None) -> ObsRuntime | None:
+    """Swap the active runtime; returns the previous one (scoped use)."""
+    global _runtime
+    prev = _runtime
+    _runtime = runtime
+    return prev
+
+
+def enabled() -> bool:
+    """True when a runtime is installed."""
+    return _runtime is not None
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Histogram observation on the active runtime (no-op if disabled)."""
+    r = _runtime
+    if r is not None:
+        r.observe(name, value, **labels)
+
+
+def mark(name: str, value: float = 1.0, **labels) -> None:
+    """Windowed counter increment on the active runtime (no-op if disabled)."""
+    r = _runtime
+    if r is not None:
+        r.mark(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    """Gauge write on the active runtime (no-op if disabled)."""
+    r = _runtime
+    if r is not None:
+        r.set_gauge(name, value, **labels)

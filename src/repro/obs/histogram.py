@@ -1,0 +1,261 @@
+"""Log-bucketed streaming histogram: mergeable, bounded-error percentiles.
+
+The live-observability counterpart to a span trace: instead of keeping
+every chunk latency (unbounded memory, post-hoc percentiles), each
+observation lands in a geometric bucket and the histogram keeps only
+``{bucket index: count}``.  Properties the rest of :mod:`repro.obs`
+relies on:
+
+* **Bounded relative error.**  Bucket *i* covers
+  ``[min_value * growth**i, min_value * growth**(i+1))``; a percentile
+  is estimated as the geometric midpoint of the bucket holding its
+  rank, so the estimate and the true sample value share a bucket and
+  the relative error is at most ``sqrt(growth) - 1`` (~9.1% at the
+  default ``growth = 2**0.25``).  ``min``/``max`` are tracked exactly
+  and clamp the estimate, so p0/p100 are exact.
+* **Mergeable.**  Two histograms with the same bucketing merge by
+  adding counts -- merge is associative and commutative, so per-thread
+  shards can be combined in any order and equal the histogram of the
+  concatenated stream (pinned by ``tests/obs/test_histogram.py``).
+* **Cheap.**  One ``log`` and one dict increment per observation under
+  a lock; memory is O(occupied buckets), ~100 buckets per four decades
+  at the default growth.
+
+Non-positive observations (a latency can be measured as exactly 0.0 on
+a coarse clock) land in a dedicated zero bucket below ``min_value``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable
+
+__all__ = [
+    "StreamingHistogram",
+    "percentile_from_buckets",
+    "DEFAULT_GROWTH",
+    "DEFAULT_MIN_VALUE",
+]
+
+#: Default bucket growth factor: four buckets per octave (~9.1% max
+#: relative percentile error from the geometric-midpoint estimator).
+DEFAULT_GROWTH = 2.0 ** 0.25
+
+#: Smallest distinctly-bucketed value (1 ns as seconds); anything at or
+#: below it shares the zero/underflow bucket.
+DEFAULT_MIN_VALUE = 1e-9
+
+
+def percentile_from_buckets(
+    buckets: Iterable[tuple[float, float, float]],
+    count: float,
+    q: float,
+    *,
+    lo_clamp: float = 0.0,
+    hi_clamp: float = math.inf,
+) -> float:
+    """Nearest-rank percentile from ``(lo, hi, count)`` bucket triples.
+
+    *buckets* must be sorted by lower bound and non-cumulative; *count*
+    is the total observation count.  Shared by
+    :meth:`StreamingHistogram.percentile` and the rule engine's
+    merged-across-labels evaluation, so both agree bit-for-bit.
+    """
+    if count <= 0:
+        raise ValueError("percentile of an empty histogram")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    # The extremes are tracked exactly by the clamps; return them
+    # directly so p0/p100 carry no bucket error at all.
+    if q == 0.0:
+        return lo_clamp
+    if q == 100.0 and math.isfinite(hi_clamp):
+        return hi_clamp
+    rank = max(1.0, math.ceil(q / 100.0 * count))
+    seen = 0.0
+    estimate = lo_clamp
+    for lo, hi, n in buckets:
+        if n <= 0:
+            continue
+        seen += n
+        if seen >= rank:
+            if lo <= 0.0:
+                estimate = 0.0
+            else:
+                estimate = math.sqrt(lo * hi)
+            break
+    else:
+        estimate = hi_clamp
+    return min(max(estimate, lo_clamp), hi_clamp)
+
+
+class StreamingHistogram:
+    """Thread-safe geometric-bucket histogram of non-negative values.
+
+    Parameters
+    ----------
+    growth:
+        Bucket width ratio (> 1).  Smaller = tighter percentile error,
+        more buckets.
+    min_value:
+        Lower edge of bucket 0; observations at or below it count into
+        the zero bucket (reported as 0.0 by percentiles).
+    """
+
+    __slots__ = (
+        "growth",
+        "min_value",
+        "_log_growth",
+        "_counts",
+        "zero_count",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        growth: float = DEFAULT_GROWTH,
+        min_value: float = DEFAULT_MIN_VALUE,
+    ) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be > 0, got {min_value}")
+        self.growth = float(growth)
+        self.min_value = float(min_value)
+        self._log_growth = math.log(self.growth)
+        self._counts: dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+    def _index_of(self, value: float) -> int:
+        return int(math.floor(math.log(value / self.min_value) / self._log_growth))
+
+    def observe(self, value: float) -> None:
+        """Record one observation (non-finite values are rejected)."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"cannot observe non-finite value {value!r}")
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if value <= self.min_value:
+                self.zero_count += 1
+            else:
+                idx = self._index_of(value)
+                self._counts[idx] = self._counts.get(idx, 0) + 1
+
+    # -- merging -----------------------------------------------------------
+    def _compatible(self, other: "StreamingHistogram") -> bool:
+        return (
+            self.growth == other.growth and self.min_value == other.min_value
+        )
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold *other*'s counts into this histogram (returns self)."""
+        if not self._compatible(other):
+            raise ValueError(
+                "cannot merge histograms with different bucketing: "
+                f"growth {self.growth} vs {other.growth}, "
+                f"min_value {self.min_value} vs {other.min_value}"
+            )
+        # Snapshot other under its lock, then apply under ours (two
+        # short critical sections; no lock ordering to deadlock on).
+        with other._lock:
+            counts = dict(other._counts)
+            zero, cnt = other.zero_count, other.count
+            total, mn, mx = other.sum, other.min, other.max
+        with self._lock:
+            for idx, n in counts.items():
+                self._counts[idx] = self._counts.get(idx, 0) + n
+            self.zero_count += zero
+            self.count += cnt
+            self.sum += total
+            self.min = min(self.min, mn)
+            self.max = max(self.max, mx)
+        return self
+
+    @classmethod
+    def merged(
+        cls, shards: Iterable["StreamingHistogram"]
+    ) -> "StreamingHistogram":
+        """A fresh histogram holding the union of all *shards*."""
+        out: StreamingHistogram | None = None
+        for shard in shards:
+            if out is None:
+                out = cls(shard.growth, shard.min_value)
+            out.merge(shard)
+        if out is None:
+            raise ValueError("merged() needs at least one shard")
+        return out
+
+    # -- inspection --------------------------------------------------------
+    def bucket_bounds(self, idx: int) -> tuple[float, float]:
+        """The ``[lo, hi)`` value range of bucket *idx*."""
+        lo = self.min_value * self.growth**idx
+        return lo, lo * self.growth
+
+    def buckets(self) -> list[tuple[float, float, int]]:
+        """Sorted non-cumulative ``(lo, hi, count)`` triples (zero first)."""
+        with self._lock:
+            counts = sorted(self._counts.items())
+            zero = self.zero_count
+        out: list[tuple[float, float, int]] = []
+        if zero:
+            out.append((0.0, self.min_value, zero))
+        for idx, n in counts:
+            lo, hi = self.bucket_bounds(idx)
+            out.append((lo, hi, n))
+        return out
+
+    def percentile(self, q: float) -> float:
+        """Estimated *q*-th percentile (error bound in the module doc)."""
+        return percentile_from_buckets(
+            self.buckets(),
+            self.count,
+            q,
+            lo_clamp=self.min if self.count else 0.0,
+            hi_clamp=self.max if self.count else 0.0,
+        )
+
+    def snapshot(self) -> dict:
+        """Plain-data view: stats, quantiles and bucket triples."""
+        with self._lock:
+            count, total = self.count, self.sum
+            mn = self.min if self.count else 0.0
+            mx = self.max if self.count else 0.0
+        snap = {
+            "count": count,
+            "sum": total,
+            "min": mn,
+            "max": mx,
+            "growth": self.growth,
+            "min_value": self.min_value,
+            "buckets": [list(b) for b in self.buckets()],
+        }
+        if count:
+            for q in (50, 90, 95, 99):
+                snap[f"p{q}"] = self.percentile(q)
+        return snap
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingHistogram(count={self.count}, min={self.min!r}, "
+            f"max={self.max!r}, buckets={len(self._counts)})"
+        )

@@ -1,0 +1,172 @@
+"""OpenMetrics / Prometheus text exposition of an observability snapshot.
+
+Renders the plain-data snapshot dict of
+:meth:`repro.obs.core.ObsRuntime.snapshot` as the OpenMetrics text
+format (https://prometheus.io/docs/specs/om/open_metrics_spec/), so
+any scraper -- or a human with ``curl`` -- can read the live state:
+
+* windowed counters -> ``# TYPE x counter`` with ``x_total`` samples,
+  plus a ``x_rate`` gauge family labelled ``window="10s"`` etc.;
+* gauges -> ``# TYPE x gauge``;
+* streaming histograms -> ``# TYPE x histogram`` with cumulative
+  ``x_bucket{le="..."}`` samples, ``x_sum``/``x_count``, plus explicit
+  ``x_p50``/``x_p90``/``x_p95``/``x_p99`` gauges (scrapers should not
+  have to re-derive quantiles from geometric buckets);
+* fired alerts -> an ``obs_alerts_fired`` counter labelled by rule.
+
+Metric names are sanitized to the OpenMetrics grammar (dots become
+underscores); label values are escaped per the spec.  The output ends
+with the mandatory ``# EOF``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable
+
+__all__ = ["render_openmetrics", "metric_name", "escape_label_value"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """Sanitize a dotted event name into an OpenMetrics metric name."""
+    out = _NAME_BAD_CHARS.sub("_", name)
+    if not out or not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape a label value per the OpenMetrics text grammar."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(labels: dict[str, Any], extra: dict[str, Any] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{metric_name(str(k))}="{escape_label_value(v)}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _num(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if value != int(value) else str(int(value))
+
+
+def _counter_block(entries: list[dict], name: str) -> list[str]:
+    lines = [f"# TYPE {name} counter"]
+    for e in entries:
+        lines.append(
+            f"{name}_total{_labels(e.get('labels', {}))} {_num(e['total'])}"
+        )
+    rate_lines: list[str] = []
+    for e in entries:
+        for window, rate in sorted(e.get("rates", {}).items()):
+            rate_lines.append(
+                f"{name}_rate"
+                f"{_labels(e.get('labels', {}), {'window': window})} "
+                f"{_num(rate)}"
+            )
+    if rate_lines:
+        lines.append(f"# TYPE {name}_rate gauge")
+        lines.extend(rate_lines)
+    return lines
+
+
+def _histogram_block(entries: list[dict], name: str) -> list[str]:
+    lines = [f"# TYPE {name} histogram"]
+    for e in entries:
+        labels = e.get("labels", {})
+        cumulative = 0.0
+        for lo, hi, n in e.get("buckets", ()):
+            cumulative += n
+            lines.append(
+                f"{name}_bucket{_labels(labels, {'le': _num(hi)})} "
+                f"{_num(cumulative)}"
+            )
+        lines.append(
+            f"{name}_bucket{_labels(labels, {'le': '+Inf'})} "
+            f"{_num(e['count'])}"
+        )
+        lines.append(f"{name}_sum{_labels(labels)} {_num(e['sum'])}")
+        lines.append(f"{name}_count{_labels(labels)} {_num(e['count'])}")
+    for q in (50, 90, 95, 99):
+        key = f"p{q}"
+        q_lines = [
+            f"{name}_{key}{_labels(e.get('labels', {}))} {_num(e[key])}"
+            for e in entries
+            if key in e
+        ]
+        if q_lines:
+            lines.append(f"# TYPE {name}_{key} gauge")
+            lines.extend(q_lines)
+    return lines
+
+
+def _gauge_block(entries: list[dict], name: str) -> list[str]:
+    lines = [f"# TYPE {name} gauge"]
+    for e in entries:
+        lines.append(
+            f"{name}{_labels(e.get('labels', {}))} {_num(e['value'])}"
+        )
+    return lines
+
+
+def _group_by_name(entries: Iterable[dict]) -> dict[str, list[dict]]:
+    groups: dict[str, list[dict]] = {}
+    for e in entries:
+        groups.setdefault(metric_name(e["name"]), []).append(e)
+    return groups
+
+
+def render_openmetrics(snapshot: dict) -> str:
+    """The whole snapshot as OpenMetrics text (ends with ``# EOF``)."""
+    lines: list[str] = []
+    if "ts" in snapshot:
+        lines.append("# TYPE obs_snapshot_timestamp_seconds gauge")
+        lines.append(
+            f"obs_snapshot_timestamp_seconds {_num(snapshot['ts'])}"
+        )
+    if "uptime_s" in snapshot:
+        lines.append("# TYPE obs_uptime_seconds gauge")
+        lines.append(f"obs_uptime_seconds {_num(snapshot['uptime_s'])}")
+    for name, entries in sorted(
+        _group_by_name(snapshot.get("counters", ())).items()
+    ):
+        lines.extend(_counter_block(entries, name))
+    for name, entries in sorted(
+        _group_by_name(snapshot.get("gauges", ())).items()
+    ):
+        lines.extend(_gauge_block(entries, name))
+    for name, entries in sorted(
+        _group_by_name(snapshot.get("histograms", ())).items()
+    ):
+        lines.extend(_histogram_block(entries, name))
+    alerts = snapshot.get("alerts", ())
+    if alerts:
+        by_rule: dict[str, int] = {}
+        for a in alerts:
+            by_rule[a["rule"]] = by_rule.get(a["rule"], 0) + 1
+        lines.append("# TYPE obs_alerts_fired counter")
+        for rule, n in sorted(by_rule.items()):
+            lines.append(
+                f"obs_alerts_fired_total{_labels({'rule': rule})} {n}"
+            )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,370 @@
+"""Declarative SLO rules evaluated on observability snapshots.
+
+A rule is one comparison over the plain-data snapshot that
+:meth:`repro.obs.core.ObsRuntime.snapshot` produces -- no live object
+access, so rules are testable on hand-built dicts and evaluation can
+never mutate the metrics it judges.  Four shapes, parsed from a small
+text syntax (or built programmatically):
+
+===============================  =============================================
+syntax                           meaning
+===============================  =============================================
+``rate(NAME[10s]) > 0``          windowed rate (events/s summed across label
+                                 sets) compared to a constant
+``p99(NAME) > 5 * p50(NAME)``    percentile-ratio: tail blowup relative to the
+                                 median (histograms merged across label sets)
+``p99(NAME) > 0.25``             percentile against a constant (seconds, ...)
+``NAME > 10``                    threshold on a gauge value or counter total
+===============================  =============================================
+
+Operators: ``>``, ``>=``, ``<``, ``<=``.  A rule whose metric has no
+data yet (empty histogram) is *skipped*, not fired; absent counters
+count as zero, so ``rate(kernel.fallback[10s]) > 0`` stays quiet until
+the first fallback actually happens.
+
+Fired rules produce :class:`Alert` records; the runtime appends them
+to its bounded alert log and emits one ``obs.alert`` telemetry counter
+event each, which is how they reach the bench summary, the dashboard
+and the JSONL trace.  A per-rule ``cooldown_s`` stops a persistently
+bad signal from re-alerting on every periodic snapshot.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import TelemetryError
+from repro.obs.histogram import percentile_from_buckets
+
+__all__ = [
+    "Alert",
+    "Rule",
+    "RuleEngine",
+    "parse_rule",
+    "default_rules",
+    "counter_total",
+    "counter_rate",
+    "gauge_value",
+    "histogram_percentile",
+]
+
+_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+}
+
+_NAME = r"[A-Za-z_][\w.]*"
+_NUM = r"-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+_OP = r">=|<=|>|<"
+
+_RATE_RE = re.compile(
+    rf"^rate\(({_NAME})\[({_NUM})s\]\)\s*({_OP})\s*({_NUM})$"
+)
+_RATIO_RE = re.compile(
+    rf"^p({_NUM})\(({_NAME})\)\s*({_OP})\s*({_NUM})\s*\*\s*p({_NUM})\(({_NAME})\)$"
+)
+_PCT_RE = re.compile(rf"^p({_NUM})\(({_NAME})\)\s*({_OP})\s*({_NUM})$")
+_THRESHOLD_RE = re.compile(rf"^({_NAME})\s*({_OP})\s*({_NUM})$")
+
+
+# ---------------------------------------------------------------------------
+# Snapshot accessors (label sets are aggregated by base metric name).
+# ---------------------------------------------------------------------------
+
+
+def counter_total(snapshot: dict, name: str) -> float:
+    """All-time total of *name* summed across label sets (0 if absent)."""
+    return sum(
+        c["total"] for c in snapshot.get("counters", ()) if c["name"] == name
+    )
+
+
+def counter_rate(snapshot: dict, name: str, window_s: float) -> float | None:
+    """Windowed rate of *name* summed across label sets.
+
+    ``None`` when the snapshot carries no rate for that window (the
+    runtime computes every window its registered rules mention, so
+    this only happens on hand-built snapshots).
+    """
+    key = f"{window_s:g}s"
+    found = False
+    total = 0.0
+    for c in snapshot.get("counters", ()):
+        if c["name"] != name:
+            continue
+        rate = c.get("rates", {}).get(key)
+        if rate is None:
+            continue
+        found = True
+        total += rate
+    if not found:
+        # An absent counter has a well-defined rate of zero; a present
+        # counter without this window is a configuration gap -> None.
+        present = any(c["name"] == name for c in snapshot.get("counters", ()))
+        return None if present else 0.0
+    return total
+
+
+def gauge_value(snapshot: dict, name: str) -> float | None:
+    """Last value of gauge *name* (first matching label set), or None."""
+    for g in snapshot.get("gauges", ()):
+        if g["name"] == name:
+            return float(g["value"])
+    return None
+
+
+def histogram_percentile(snapshot: dict, name: str, q: float) -> float | None:
+    """Percentile of *name* with all label sets merged; None if empty."""
+    merged: dict[float, list[float]] = {}
+    count = 0.0
+    lo_clamp = None
+    hi_clamp = None
+    for h in snapshot.get("histograms", ()):
+        if h["name"] != name or not h.get("count"):
+            continue
+        count += h["count"]
+        lo_clamp = h["min"] if lo_clamp is None else min(lo_clamp, h["min"])
+        hi_clamp = h["max"] if hi_clamp is None else max(hi_clamp, h["max"])
+        for lo, hi, n in h.get("buckets", ()):
+            entry = merged.setdefault(lo, [hi, 0.0])
+            entry[1] += n
+    if not count:
+        return None
+    buckets = sorted(
+        (lo, hi, n) for lo, (hi, n) in merged.items()
+    )
+    return percentile_from_buckets(
+        buckets, count, q, lo_clamp=lo_clamp, hi_clamp=hi_clamp
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rules and alerts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired rule: what was observed against what bound, when."""
+
+    rule: str
+    expr: str
+    metric: str
+    value: float
+    threshold: float
+    fired_at: float
+
+    def describe(self) -> str:
+        return (
+            f"[{self.rule}] {self.expr}: observed {self.value:g} vs "
+            f"bound {self.threshold:g}"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "expr": self.expr,
+            "metric": self.metric,
+            "value": self.value,
+            "threshold": self.threshold,
+            "fired_at": self.fired_at,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One parsed SLO rule (see the module doc for the text syntax)."""
+
+    name: str
+    expr: str
+    kind: str  # "rate" | "ratio" | "percentile" | "threshold"
+    metric: str
+    op: str
+    value: float
+    window_s: float | None = None
+    q: float | None = None
+    rhs_q: float | None = None
+    rhs_metric: str | None = None
+    #: Seconds a fired rule stays quiet before it may fire again.
+    cooldown_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise TelemetryError(f"unknown rule operator {self.op!r}")
+        if self.kind not in ("rate", "ratio", "percentile", "threshold"):
+            raise TelemetryError(f"unknown rule kind {self.kind!r}")
+
+    def _observe(self, snapshot: dict) -> tuple[float, float] | None:
+        """(observed LHS, computed RHS bound), or None to skip."""
+        if self.kind == "rate":
+            lhs = counter_rate(snapshot, self.metric, self.window_s or 10.0)
+            if lhs is None:
+                return None
+            return lhs, self.value
+        if self.kind == "percentile":
+            lhs = histogram_percentile(snapshot, self.metric, self.q or 99.0)
+            if lhs is None:
+                return None
+            return lhs, self.value
+        if self.kind == "ratio":
+            lhs = histogram_percentile(snapshot, self.metric, self.q or 99.0)
+            rhs = histogram_percentile(
+                snapshot, self.rhs_metric or self.metric, self.rhs_q or 50.0
+            )
+            if lhs is None or rhs is None:
+                return None
+            return lhs, self.value * rhs
+        # threshold: gauges win over counter totals (a name should not
+        # be both; if it is, the gauge is the intended live signal).
+        lhs = gauge_value(snapshot, self.metric)
+        if lhs is None:
+            lhs = counter_total(snapshot, self.metric)
+        return lhs, self.value
+
+    def evaluate(self, snapshot: dict, now: float | None = None) -> Alert | None:
+        """The alert this rule fires on *snapshot*, or None."""
+        observed = self._observe(snapshot)
+        if observed is None:
+            return None
+        lhs, bound = observed
+        if not _OPS[self.op](lhs, bound):
+            return None
+        return Alert(
+            rule=self.name,
+            expr=self.expr,
+            metric=self.metric,
+            value=float(lhs),
+            threshold=float(bound),
+            fired_at=time.time() if now is None else now,
+        )
+
+
+def parse_rule(
+    expr: str, *, name: str | None = None, cooldown_s: float = 10.0
+) -> Rule:
+    """Parse one rule expression; raises TelemetryError on bad syntax."""
+    text = expr.strip()
+    m = _RATE_RE.match(text)
+    if m:
+        metric, window, op, value = m.groups()
+        return Rule(
+            name=name or f"rate:{metric}",
+            expr=text,
+            kind="rate",
+            metric=metric,
+            op=op,
+            value=float(value),
+            window_s=float(window),
+            cooldown_s=cooldown_s,
+        )
+    m = _RATIO_RE.match(text)
+    if m:
+        q, metric, op, mult, rhs_q, rhs_metric = m.groups()
+        return Rule(
+            name=name or f"ratio:{metric}",
+            expr=text,
+            kind="ratio",
+            metric=metric,
+            op=op,
+            value=float(mult),
+            q=float(q),
+            rhs_q=float(rhs_q),
+            rhs_metric=rhs_metric,
+            cooldown_s=cooldown_s,
+        )
+    m = _PCT_RE.match(text)
+    if m:
+        q, metric, op, value = m.groups()
+        return Rule(
+            name=name or f"p{q}:{metric}",
+            expr=text,
+            kind="percentile",
+            metric=metric,
+            op=op,
+            value=float(value),
+            q=float(q),
+            cooldown_s=cooldown_s,
+        )
+    m = _THRESHOLD_RE.match(text)
+    if m:
+        metric, op, value = m.groups()
+        return Rule(
+            name=name or f"threshold:{metric}",
+            expr=text,
+            kind="threshold",
+            metric=metric,
+            op=op,
+            value=float(value),
+            cooldown_s=cooldown_s,
+        )
+    raise TelemetryError(f"cannot parse SLO rule {expr!r}")
+
+
+def default_rules() -> list[Rule]:
+    """The stock rule set installed by ``--obs``.
+
+    Fallbacks and retries are never expected in a healthy run, so any
+    nonzero 10-second rate alerts; the chunk-latency tail rule is the
+    paper's imbalance question stated as an SLO (a p99 that runs away
+    from the median means some thread's rows decode much slower).
+    """
+    return [
+        parse_rule(
+            "rate(kernel.fallback[10s]) > 0", name="kernel-fallback"
+        ),
+        parse_rule(
+            "rate(executor.retry[10s]) > 0", name="executor-retry"
+        ),
+        parse_rule(
+            "p99(spmv.chunk.seconds) > 5 * p50(spmv.chunk.seconds)",
+            name="chunk-tail-latency",
+        ),
+    ]
+
+
+class RuleEngine:
+    """A rule set plus per-rule cooldown state.
+
+    ``evaluate`` runs every rule against one snapshot and returns the
+    alerts that fired (respecting cooldowns).  The engine never stores
+    metric data -- only when each rule last fired.
+    """
+
+    def __init__(self, rules: Iterable[Rule | str] = ()) -> None:
+        self.rules: list[Rule] = [
+            parse_rule(r) if isinstance(r, str) else r for r in rules
+        ]
+        names = [r.name for r in self.rules]
+        if len(names) != len(set(names)):
+            raise TelemetryError(f"duplicate rule names in {names}")
+        self._last_fired: dict[str, float] = {}
+
+    def add(self, rule: Rule | str) -> Rule:
+        parsed = parse_rule(rule) if isinstance(rule, str) else rule
+        if any(r.name == parsed.name for r in self.rules):
+            raise TelemetryError(f"duplicate rule name {parsed.name!r}")
+        self.rules.append(parsed)
+        return parsed
+
+    def evaluate(
+        self, snapshot: dict, now: float | None = None
+    ) -> list[Alert]:
+        """Alerts fired by *snapshot* (cooldown-suppressed ones omitted)."""
+        if now is None:
+            now = time.time()
+        fired: list[Alert] = []
+        for rule in self.rules:
+            last = self._last_fired.get(rule.name)
+            if last is not None and now - last < rule.cooldown_s:
+                continue
+            alert = rule.evaluate(snapshot, now)
+            if alert is not None:
+                self._last_fired[rule.name] = now
+                fired.append(alert)
+        return fired

@@ -1,0 +1,122 @@
+"""Sliding-window rate aggregation over counter increments.
+
+A :class:`WindowedCounter` is the live view of one telemetry counter
+(``kernel.fallback``, ``executor.retry``, ``convert.cache.hit`` ...):
+it keeps the all-time total *and* a ring of coarse time buckets so
+"events per second over the last N seconds" is answerable at any
+moment without replaying an event stream.
+
+The ring is bounded: increments older than ``horizon_s`` are dropped
+on every touch, so a counter costs O(horizon / resolution) floats no
+matter how long the process runs.  The clock is injectable (monotonic
+by default) so the rule-engine tests can drive time deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["WindowedCounter", "DEFAULT_HORIZON_S", "DEFAULT_RESOLUTION_S"]
+
+#: How far back a window may reach (longest supported rate window).
+DEFAULT_HORIZON_S = 120.0
+
+#: Bucket width: rates are accurate to one bucket edge.
+DEFAULT_RESOLUTION_S = 1.0
+
+
+class WindowedCounter:
+    """All-time total plus a bounded ring of recent increments.
+
+    Parameters
+    ----------
+    horizon_s:
+        Maximum lookback; ``rate(window_s)`` with a larger window is
+        clamped to it.
+    resolution_s:
+        Ring bucket width.  Increments within one bucket share a
+        timestamp, so a window boundary can be off by at most one
+        resolution step.
+    clock:
+        0-argument callable returning seconds (monotonic by default).
+    """
+
+    __slots__ = ("horizon_s", "resolution_s", "_clock", "total", "_ring", "_lock")
+
+    def __init__(
+        self,
+        horizon_s: float = DEFAULT_HORIZON_S,
+        resolution_s: float = DEFAULT_RESOLUTION_S,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if horizon_s <= 0 or resolution_s <= 0:
+            raise ValueError(
+                f"horizon_s and resolution_s must be positive, got "
+                f"{horizon_s}, {resolution_s}"
+            )
+        if resolution_s > horizon_s:
+            raise ValueError(
+                f"resolution_s {resolution_s} exceeds horizon_s {horizon_s}"
+            )
+        self.horizon_s = float(horizon_s)
+        self.resolution_s = float(resolution_s)
+        self._clock = clock
+        self.total = 0.0
+        #: (bucket id, accumulated value), oldest first.
+        self._ring: deque[tuple[int, float]] = deque()
+        self._lock = threading.Lock()
+
+    def _bucket(self, now: float) -> int:
+        return int(now / self.resolution_s)
+
+    def _evict(self, now: float) -> None:
+        oldest_keep = self._bucket(now - self.horizon_s)
+        while self._ring and self._ring[0][0] < oldest_keep:
+            self._ring.popleft()
+
+    def add(self, value: float = 1.0, now: float | None = None) -> None:
+        """Accumulate *value* at the current (or given) time."""
+        if now is None:
+            now = self._clock()
+        bucket = self._bucket(now)
+        with self._lock:
+            self.total += value
+            if self._ring and self._ring[-1][0] == bucket:
+                bid, acc = self._ring[-1]
+                self._ring[-1] = (bid, acc + value)
+            else:
+                self._ring.append((bucket, value))
+            self._evict(now)
+
+    def sum_over(self, window_s: float, now: float | None = None) -> float:
+        """Total value accumulated within the trailing *window_s*."""
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        window_s = min(window_s, self.horizon_s)
+        if now is None:
+            now = self._clock()
+        first = self._bucket(now - window_s)
+        with self._lock:
+            self._evict(now)
+            return sum(v for b, v in self._ring if b >= first)
+
+    def rate(self, window_s: float, now: float | None = None) -> float:
+        """Mean events (value) per second over the trailing *window_s*."""
+        window_s = min(window_s, self.horizon_s)
+        return self.sum_over(window_s, now) / window_s
+
+    def snapshot(self, windows: tuple[float, ...] = (10.0, 60.0)) -> dict:
+        """Plain-data view: total plus rates for the given windows."""
+        now = self._clock()
+        return {
+            "total": self.total,
+            "rates": {
+                f"{w:g}s": self.rate(w, now) for w in windows
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"WindowedCounter(total={self.total}, buckets={len(self._ring)})"

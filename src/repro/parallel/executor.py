@@ -30,6 +30,7 @@ scaling numbers in the tables come from :mod:`repro.machine`.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
@@ -48,6 +49,7 @@ from repro.errors import (
 from repro.formats.base import SparseMatrix, check_out_aliasing
 from repro.formats.conversions import to_csr
 from repro.kernels.plan import PLANNABLE_FORMATS, get_plan
+from repro.obs import core as obs
 from repro.parallel.partition import RowPartition, row_partition
 from repro.telemetry import core as telemetry
 
@@ -216,6 +218,11 @@ class ParallelSpMV:
 
         def work(t: int) -> ChunkFailure | None:
             lo, hi = self.partition.rows_of(t)
+            # Live observability: one histogram sample per chunk (the
+            # serving layer's latency signal).  The disabled path is a
+            # single attribute check, same contract as telemetry.
+            runtime = obs.get_runtime()
+            t0 = time.perf_counter() if runtime is not None else 0.0
             with telemetry.span(
                 "parallel.chunk",
                 thread=t,
@@ -226,6 +233,12 @@ class ParallelSpMV:
             ):
                 try:
                     self.chunks[t].spmv(x, out=y[lo:hi])
+                    if runtime is not None:
+                        runtime.observe(
+                            "spmv.chunk.seconds",
+                            time.perf_counter() - t0,
+                            format=self._format_name,
+                        )
                     return None
                 except RETRYABLE as exc:
                     telemetry.count(
@@ -239,8 +252,15 @@ class ParallelSpMV:
                         },
                         format=self._format_name,
                     )
+                    obs.mark("executor.retry", 1, format=self._format_name)
                     try:
                         self._rebuild_chunk(t).spmv(x, out=y[lo:hi])
+                        if runtime is not None:
+                            runtime.observe(
+                                "spmv.chunk.seconds",
+                                time.perf_counter() - t0,
+                                format=self._format_name,
+                            )
                         return None
                     except Exception as exc2:
                         return ChunkFailure(t, lo, hi, exc2, retried=True)
@@ -248,6 +268,8 @@ class ParallelSpMV:
                     return ChunkFailure(t, lo, hi, exc, retried=False)
 
         failures: list[ChunkFailure] = []
+        runtime = obs.get_runtime()
+        call_t0 = time.perf_counter() if runtime is not None else 0.0
         with telemetry.span("parallel.spmv", threads=self.nthreads):
             if self._pool is None:
                 failure = work(0)
@@ -273,6 +295,13 @@ class ParallelSpMV:
                         )
                     if failure is not None:
                         failures.append(failure)
+        if runtime is not None:
+            runtime.observe(
+                "spmv.call.seconds",
+                time.perf_counter() - call_t0,
+                format=self._format_name,
+                threads=self.nthreads,
+            )
         if failures:
             detail = "; ".join(f.describe() for f in failures)
             raise ExecutionError(

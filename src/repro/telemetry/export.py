@@ -190,8 +190,49 @@ def counter_breakdown(
     return groups
 
 
+def reliability_summary(collector: Collector) -> dict[str, float]:
+    """Headline reliability signals, lifted out of the raw counters.
+
+    The encode-cache hit ratio and the fallback/retry totals are the
+    run-health numbers a reader should not have to reassemble from
+    per-label counter lines:
+
+    * ``cache_hits`` / ``cache_misses`` / ``cache_hit_ratio`` -- the
+      ``convert.cache.*`` totals across formats (ratio is 0.0 when no
+      lookups happened);
+    * ``kernel_fallbacks`` -- guarded-kernel tier degradations;
+    * ``executor_retries`` -- chunks re-encoded after decode failures;
+    * ``alerts`` -- fired ``obs.alert`` SLO events.
+
+    Anything nonzero among the last three means the run degraded
+    somewhere, even if every result was still bit-correct.
+    """
+    groups = counter_breakdown(collector.counters)
+
+    def total(base: str) -> float:
+        return sum(groups.get(base, {}).values())
+
+    hits = total("convert.cache.hit")
+    misses = total("convert.cache.miss")
+    lookups = hits + misses
+    return {
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_ratio": hits / lookups if lookups else 0.0,
+        "kernel_fallbacks": total("kernel.fallback"),
+        "executor_retries": total("executor.retry"),
+        "alerts": total("obs.alert"),
+    }
+
+
+def alert_events(collector: Collector) -> list[Event]:
+    """Every ``obs.alert`` event of the run, in emission order."""
+    return [ev for ev in collector.snapshot() if ev.name == "obs.alert"]
+
+
 def summary(collector: Collector, *, top: int = 20) -> str:
-    """Plain-text report: top spans by total time, counters, gauges.
+    """Plain-text report: top spans by total time, reliability headline,
+    fired SLO alerts, counters, gauges.
 
     *top* caps the span table; counters print one total per base name
     with the per-label keys indented beneath it.
@@ -210,6 +251,26 @@ def summary(collector: Collector, *, top: int = 20) -> str:
             f"  {name:<28} {int(s['calls']):>7} {s['total_us'] / 1e3:>10.3f} "
             f"{s['mean_us'] / 1e3:>10.3f} {s['max_us'] / 1e3:>10.3f}"
         )
+    rel = reliability_summary(collector)
+    if any(rel.values()):
+        lines.append("")
+        lines.append("reliability")
+        lines.append(
+            f"  convert.cache hit ratio: {rel['cache_hit_ratio']:.1%} "
+            f"({rel['cache_hits']:g} hits / {rel['cache_misses']:g} misses)"
+        )
+        lines.append(f"  kernel fallbacks: {rel['kernel_fallbacks']:g}")
+        lines.append(f"  executor retries: {rel['executor_retries']:g}")
+        alerts = alert_events(collector)
+        lines.append(f"  SLO alerts fired: {len(alerts)}")
+        for ev in alerts[:10]:
+            lines.append(
+                f"    [{ev.attrs.get('rule', '?')}] "
+                f"{ev.attrs.get('expr', '?')}: observed "
+                f"{ev.attrs.get('value', '?')} vs {ev.attrs.get('threshold', '?')}"
+            )
+        if len(alerts) > 10:
+            lines.append(f"    ... and {len(alerts) - 10} more")
     if collector.counters:
         lines.append("")
         lines.append("counters")
@@ -228,11 +289,69 @@ def summary(collector: Collector, *, top: int = 20) -> str:
     return "\n".join(lines)
 
 
+def collector_metrics_snapshot(collector: Collector) -> dict[str, Any]:
+    """The collector's aggregates as an obs-shaped snapshot dict.
+
+    Lets :func:`export_all` render OpenMetrics even when no live
+    :class:`~repro.obs.core.ObsRuntime` was installed: counters and
+    gauges export with their labels parsed back out of the aggregate
+    keys (no histograms or rates -- those only exist live).
+    """
+    def split(key: str) -> tuple[str, dict[str, str]]:
+        if "{" not in key:
+            return key, {}
+        base, inner = key.split("{", 1)
+        labels: dict[str, str] = {}
+        for part in inner.rstrip("}").split(","):
+            if "=" in part:
+                k, v = part.split("=", 1)
+                labels[k] = v
+        return base, labels
+
+    counters = []
+    for key, value in sorted(collector.counters.items()):
+        name, labels = split(key)
+        counters.append({"name": name, "labels": labels, "total": value})
+    gauges = []
+    for key, value in sorted(collector.gauges.items()):
+        name, labels = split(key)
+        gauges.append({"name": name, "labels": labels, "value": value})
+    return {"counters": counters, "gauges": gauges, "histograms": []}
+
+
+def write_openmetrics(
+    collector: Collector, path: str, *, obs_runtime=None
+) -> int:
+    """Write an OpenMetrics snapshot; returns the sample-line count.
+
+    The active (or given) obs runtime supplies the full live state --
+    histograms with quantiles, windowed rates, resource gauges, fired
+    alerts.  Without one, the collector's own counter/gauge aggregates
+    are rendered so ``--metrics-out`` degrades gracefully instead of
+    writing an empty file.
+    """
+    from repro.obs import core as obs_core
+    from repro.obs.openmetrics import render_openmetrics
+
+    runtime = obs_runtime if obs_runtime is not None else obs_core.get_runtime()
+    if runtime is not None:
+        text = runtime.render_openmetrics()
+    else:
+        text = render_openmetrics(collector_metrics_snapshot(collector))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+
+
 def export_all(
     collector: Collector,
     *,
     jsonl_path: str | None = None,
     chrome_path: str | None = None,
+    openmetrics_path: str | None = None,
+    obs_runtime=None,
 ) -> dict[str, int]:
     """Write every requested artifact; returns per-artifact event counts."""
     written: dict[str, int] = {}
@@ -240,6 +359,10 @@ def export_all(
         written["jsonl"] = write_jsonl(collector, jsonl_path)
     if chrome_path:
         written["chrome"] = write_chrome_trace(collector, chrome_path)
+    if openmetrics_path:
+        written["openmetrics"] = write_openmetrics(
+            collector, openmetrics_path, obs_runtime=obs_runtime
+        )
     return written
 
 

@@ -67,6 +67,19 @@ name                           kind     meaning / labels
 ``bench.cell``                 span     one (matrix, format) cell; ``matrix_id``,
                                         ``format``
 ``bench.measure``              span     real-clock measurement of one cell
+``obs.alert``                  counter  one fired SLO rule from the live
+                                        observability engine; label ``rule``;
+                                        payload ``expr``, ``metric``, ``value``,
+                                        ``threshold``
+``obs.snapshot``               counter  one periodic/final observability
+                                        snapshot flush; payload ``histograms``,
+                                        ``counters``, ``gauges``, ``alerts``
+                                        (series counts, not the full state)
+``obs.resource.rss_bytes``     gauge    resident set size sampled by the
+                                        resource monitor (``rss_is_peak``
+                                        label on getrusage fallback)
+``obs.resource.gc_collections``  gauge  total GC collections so far
+``obs.resource.threads``       gauge    live Python thread count
 =============================  =======  ==============================================
 """
 
@@ -113,6 +126,11 @@ KNOWN_EVENTS = frozenset(
         "bench.matrix",
         "bench.cell",
         "bench.measure",
+        "obs.alert",
+        "obs.snapshot",
+        "obs.resource.rss_bytes",
+        "obs.resource.gc_collections",
+        "obs.resource.threads",
     }
 )
 

@@ -1,0 +1,184 @@
+"""StreamingHistogram: bounded percentile error, merge associativity."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.histogram import (
+    DEFAULT_GROWTH,
+    StreamingHistogram,
+    percentile_from_buckets,
+)
+
+#: Documented geometric-midpoint bound: sqrt(growth) - 1 (~9.1%).
+ERROR_BOUND = math.sqrt(DEFAULT_GROWTH) - 1.0
+
+QS = (50.0, 90.0, 95.0, 99.0)
+
+
+def _distributions():
+    rng = np.random.default_rng(42)
+    uniform = rng.uniform(0.001, 1.0, size=5000)
+    lognormal = rng.lognormal(mean=-4.0, sigma=1.5, size=5000)
+    # Unequal mode weights keep every tested percentile inside a mode,
+    # not on the inter-mode cliff where any estimator is ill-defined.
+    bimodal = np.concatenate(
+        [
+            rng.normal(1e-3, 1e-4, size=3000).clip(min=1e-5),
+            rng.normal(1.0, 0.05, size=2000).clip(min=1e-5),
+        ]
+    )
+    return {"uniform": uniform, "lognormal": lognormal, "bimodal": bimodal}
+
+
+class TestPercentileAccuracy:
+    @pytest.mark.parametrize("name", ["uniform", "lognormal", "bimodal"])
+    def test_matches_numpy_within_bucket_error(self, name):
+        data = _distributions()[name]
+        hist = StreamingHistogram()
+        for v in data:
+            hist.observe(v)
+        for q in QS:
+            # inverted_cdf is numpy's nearest-rank method -- the same
+            # rank definition the histogram uses, so the only error
+            # left is the bucket-midpoint estimate.
+            exact = float(np.percentile(data, q, method="inverted_cdf"))
+            est = hist.percentile(q)
+            rel = abs(est - exact) / exact
+            assert rel <= ERROR_BOUND + 1e-12, (
+                f"{name} p{q}: estimate {est} vs exact {exact} "
+                f"({rel:.4f} > bound {ERROR_BOUND:.4f})"
+            )
+
+    def test_min_max_exact_at_extremes(self):
+        data = [0.123, 0.5, 7.0, 31.5]
+        hist = StreamingHistogram()
+        for v in data:
+            hist.observe(v)
+        assert hist.percentile(0) == 0.123
+        assert hist.percentile(100) == 31.5
+        assert hist.min == 0.123
+        assert hist.max == 31.5
+
+    def test_zero_and_underflow_bucket(self):
+        hist = StreamingHistogram(min_value=1e-6)
+        for v in (0.0, 1e-9, 1e-7, 5.0):
+            hist.observe(v)
+        buckets = hist.buckets()
+        assert buckets[0][:2] == (0.0, 1e-6)
+        assert buckets[0][2] == 3
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(100) == 5.0
+
+    def test_rejects_non_finite(self):
+        hist = StreamingHistogram()
+        with pytest.raises(ValueError):
+            hist.observe(float("nan"))
+        with pytest.raises(ValueError):
+            hist.observe(float("inf"))
+        assert hist.count == 0
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram().percentile(50)
+
+    def test_percentile_out_of_range(self):
+        hist = StreamingHistogram()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+
+class TestMerge:
+    def test_merge_of_shards_equals_concatenation(self):
+        rng = np.random.default_rng(7)
+        streams = [rng.lognormal(-3, 1, size=n) for n in (100, 1000, 37)]
+        shards = []
+        for stream in streams:
+            shard = StreamingHistogram()
+            for v in stream:
+                shard.observe(v)
+            shards.append(shard)
+        whole = StreamingHistogram()
+        for v in np.concatenate(streams):
+            whole.observe(v)
+        merged = StreamingHistogram.merged(shards)
+        assert merged.snapshot()["buckets"] == whole.snapshot()["buckets"]
+        assert merged.count == whole.count
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+        assert merged.sum == pytest.approx(whole.sum)
+        for q in QS:
+            assert merged.percentile(q) == whole.percentile(q)
+
+    def test_merge_order_independent(self):
+        rng = np.random.default_rng(11)
+        shards = []
+        for _ in range(4):
+            shard = StreamingHistogram()
+            for v in rng.uniform(1e-4, 10.0, size=200):
+                shard.observe(v)
+            shards.append(shard)
+        forward = StreamingHistogram.merged(shards)
+        backward = StreamingHistogram.merged(shards[::-1])
+        assert forward.snapshot()["buckets"] == backward.snapshot()["buckets"]
+        assert forward.percentile(99) == backward.percentile(99)
+
+    def test_merge_rejects_incompatible_bucketing(self):
+        a = StreamingHistogram(growth=2.0)
+        b = StreamingHistogram(growth=1.5)
+        with pytest.raises(ValueError, match="different bucketing"):
+            a.merge(b)
+
+    def test_merged_needs_a_shard(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram.merged([])
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        hist = StreamingHistogram()
+        for v in (0.01, 0.02, 0.04):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(0.07)
+        assert snap["min"] == 0.01
+        assert snap["max"] == 0.04
+        assert snap["growth"] == DEFAULT_GROWTH
+        assert all(len(b) == 3 for b in snap["buckets"])
+        assert sum(b[2] for b in snap["buckets"]) == 3
+        for q in (50, 90, 95, 99):
+            assert f"p{q}" in snap
+
+    def test_empty_snapshot_has_no_quantiles(self):
+        snap = StreamingHistogram().snapshot()
+        assert snap["count"] == 0
+        assert "p50" not in snap
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(growth=1.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(min_value=0.0)
+
+
+class TestPercentileFromBuckets:
+    def test_rank_walk(self):
+        buckets = [(0.0, 1.0, 2), (1.0, 2.0, 2), (2.0, 4.0, 6)]
+        # rank(50) = ceil(0.5 * 10) = 5 -> third bucket's midpoint.
+        est = percentile_from_buckets(buckets, 10, 50)
+        assert est == pytest.approx(math.sqrt(2.0 * 4.0))
+
+    def test_clamps(self):
+        buckets = [(1.0, 2.0, 1)]
+        assert percentile_from_buckets(
+            buckets, 1, 99, lo_clamp=1.2, hi_clamp=1.3
+        ) == 1.3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_from_buckets([], 0, 50)

@@ -1,0 +1,131 @@
+"""OpenMetrics exposition format: grammar, escaping, cumulative buckets."""
+
+from __future__ import annotations
+
+from repro.obs.histogram import StreamingHistogram
+from repro.obs.openmetrics import (
+    escape_label_value,
+    metric_name,
+    render_openmetrics,
+)
+
+
+def test_metric_name_sanitization():
+    assert metric_name("spmv.chunk.seconds") == "spmv_chunk_seconds"
+    assert metric_name("kernel.fallback") == "kernel_fallback"
+    assert metric_name("already_ok") == "already_ok"
+    assert metric_name("9starts.bad") == "_9starts_bad"
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("a\nb") == "a\\nb"
+    assert escape_label_value(42) == "42"
+
+
+def test_render_counters_and_rates():
+    text = render_openmetrics(
+        {
+            "counters": [
+                {
+                    "name": "kernel.fallback",
+                    "labels": {"format": "csr-du"},
+                    "total": 3,
+                    "rates": {"10s": 0.3, "60s": 0.05},
+                }
+            ]
+        }
+    )
+    assert "# TYPE kernel_fallback counter" in text
+    assert 'kernel_fallback_total{format="csr-du"} 3' in text
+    assert "# TYPE kernel_fallback_rate gauge" in text
+    assert 'kernel_fallback_rate{format="csr-du",window="10s"} 0.3' in text
+    assert text.endswith("# EOF\n")
+
+
+def test_render_gauges():
+    text = render_openmetrics(
+        {
+            "gauges": [
+                {"name": "obs.resource.threads", "labels": {}, "value": 4.0}
+            ]
+        }
+    )
+    assert "# TYPE obs_resource_threads gauge" in text
+    assert "obs_resource_threads 4" in text
+
+
+def test_render_histogram_cumulative_buckets_and_quantiles():
+    h = StreamingHistogram()
+    for v in (0.01, 0.02, 0.02, 0.04):
+        h.observe(v)
+    text = render_openmetrics(
+        {
+            "histograms": [
+                {"name": "spmv.chunk.seconds", "labels": {}, **h.snapshot()}
+            ]
+        }
+    )
+    lines = text.splitlines()
+    bucket_counts = [
+        float(ln.rsplit(" ", 1)[1])
+        for ln in lines
+        if ln.startswith("spmv_chunk_seconds_bucket")
+    ]
+    # Cumulative: non-decreasing, ending at the +Inf bucket == count.
+    assert bucket_counts == sorted(bucket_counts)
+    assert bucket_counts[-1] == 4
+    assert 'le="+Inf"' in text
+    assert "spmv_chunk_seconds_count 4" in text
+    assert any(ln.startswith("spmv_chunk_seconds_sum") for ln in lines)
+    for q in (50, 90, 95, 99):
+        assert f"# TYPE spmv_chunk_seconds_p{q} gauge" in text
+
+
+def test_render_alerts_grouped_by_rule():
+    text = render_openmetrics(
+        {
+            "alerts": [
+                {"rule": "kernel-fallback"},
+                {"rule": "kernel-fallback"},
+                {"rule": "executor-retry"},
+            ]
+        }
+    )
+    assert 'obs_alerts_fired_total{rule="kernel-fallback"} 2' in text
+    assert 'obs_alerts_fired_total{rule="executor-retry"} 1' in text
+
+
+def test_timestamp_and_uptime():
+    text = render_openmetrics({"ts": 1700000000.0, "uptime_s": 12.5})
+    assert "obs_snapshot_timestamp_seconds 1700000000" in text
+    assert "obs_uptime_seconds 12.5" in text
+
+
+def test_empty_snapshot_is_just_eof():
+    assert render_openmetrics({}) == "# EOF\n"
+
+
+def test_every_line_parses_as_sample_or_comment():
+    h = StreamingHistogram()
+    h.observe(0.5)
+    text = render_openmetrics(
+        {
+            "ts": 1.0,
+            "uptime_s": 1.0,
+            "counters": [
+                {"name": "c", "labels": {"fmt": 'x"y'}, "total": 1, "rates": {}}
+            ],
+            "gauges": [{"name": "g", "labels": {}, "value": 1}],
+            "histograms": [{"name": "h", "labels": {}, **h.snapshot()}],
+            "alerts": [{"rule": "r"}],
+        }
+    )
+    for line in text.splitlines():
+        assert line, "no blank lines in exposition"
+        if line.startswith("#"):
+            assert line == "# EOF" or line.startswith("# TYPE ")
+        else:
+            # name{labels} value -- value must parse as float.
+            float(line.rsplit(" ", 1)[1])

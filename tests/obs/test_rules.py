@@ -1,0 +1,227 @@
+"""SLO rule parsing and evaluation on hand-built snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.rules import (
+    RuleEngine,
+    counter_rate,
+    counter_total,
+    default_rules,
+    gauge_value,
+    histogram_percentile,
+    parse_rule,
+)
+
+
+def snap(*, counters=(), gauges=(), histograms=()):
+    return {
+        "counters": list(counters),
+        "gauges": list(gauges),
+        "histograms": list(histograms),
+    }
+
+
+def counter(name, total, rates=None, labels=None):
+    return {
+        "name": name,
+        "labels": labels or {},
+        "total": total,
+        "rates": rates or {},
+    }
+
+
+def histogram(name, values, labels=None):
+    from repro.obs.histogram import StreamingHistogram
+
+    h = StreamingHistogram()
+    for v in values:
+        h.observe(v)
+    return {"name": name, "labels": labels or {}, **h.snapshot()}
+
+
+class TestParse:
+    def test_rate(self):
+        r = parse_rule("rate(kernel.fallback[10s]) > 0")
+        assert (r.kind, r.metric, r.op) == ("rate", "kernel.fallback", ">")
+        assert r.window_s == 10.0
+        assert r.value == 0.0
+        assert r.name == "rate:kernel.fallback"
+
+    def test_ratio(self):
+        r = parse_rule("p99(spmv.chunk.seconds) > 5 * p50(spmv.chunk.seconds)")
+        assert r.kind == "ratio"
+        assert (r.q, r.rhs_q) == (99.0, 50.0)
+        assert r.value == 5.0
+        assert r.rhs_metric == "spmv.chunk.seconds"
+
+    def test_percentile(self):
+        r = parse_rule("p95(bench.cell.seconds) >= 0.25")
+        assert (r.kind, r.q, r.op, r.value) == ("percentile", 95.0, ">=", 0.25)
+
+    def test_threshold(self):
+        r = parse_rule("obs.resource.rss_bytes > 1e9")
+        assert (r.kind, r.value) == ("threshold", 1e9)
+
+    def test_explicit_name_and_cooldown(self):
+        r = parse_rule("x > 1", name="mem", cooldown_s=3.0)
+        assert r.name == "mem"
+        assert r.cooldown_s == 3.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "rate(x) > 0",  # missing window
+            "p99(x) > * p50(x)",
+            "x ~ 5",
+            "rate(x[10s]) = 0",
+            "p99() > 1",
+        ],
+    )
+    def test_bad_syntax(self, bad):
+        with pytest.raises(TelemetryError):
+            parse_rule(bad)
+
+
+class TestAccessors:
+    def test_counter_total_sums_label_sets(self):
+        s = snap(
+            counters=[
+                counter("f", 2, labels={"format": "csr-du"}),
+                counter("f", 3, labels={"format": "csr-vi"}),
+            ]
+        )
+        assert counter_total(s, "f") == 5.0
+        assert counter_total(s, "absent") == 0.0
+
+    def test_counter_rate_absent_is_zero(self):
+        assert counter_rate(snap(), "nope", 10.0) == 0.0
+
+    def test_counter_rate_present_without_window_is_none(self):
+        s = snap(counters=[counter("f", 1, rates={"60s": 0.1})])
+        assert counter_rate(s, "f", 10.0) is None
+
+    def test_counter_rate_sums_label_sets(self):
+        s = snap(
+            counters=[
+                counter("f", 1, rates={"10s": 0.5}, labels={"a": "1"}),
+                counter("f", 1, rates={"10s": 0.25}, labels={"a": "2"}),
+            ]
+        )
+        assert counter_rate(s, "f", 10.0) == 0.75
+
+    def test_gauge_value(self):
+        s = snap(gauges=[{"name": "g", "labels": {}, "value": 7.0}])
+        assert gauge_value(s, "g") == 7.0
+        assert gauge_value(s, "absent") is None
+
+    def test_histogram_percentile_merges_label_sets(self):
+        from repro.obs.histogram import StreamingHistogram
+
+        a = [0.01] * 50
+        b = [1.0] * 50
+        s = snap(
+            histograms=[
+                histogram("h", a, labels={"format": "csr-du"}),
+                histogram("h", b, labels={"format": "csr-vi"}),
+            ]
+        )
+        whole = StreamingHistogram()
+        for v in a + b:
+            whole.observe(v)
+        assert histogram_percentile(s, "h", 99.0) == whole.percentile(99.0)
+        assert histogram_percentile(s, "absent", 99.0) is None
+
+
+class TestEvaluate:
+    def test_rate_rule_fires(self):
+        rule = parse_rule("rate(kernel.fallback[10s]) > 0")
+        quiet = snap(counters=[counter("kernel.fallback", 0, rates={"10s": 0.0})])
+        loud = snap(counters=[counter("kernel.fallback", 3, rates={"10s": 0.3})])
+        assert rule.evaluate(quiet) is None
+        alert = rule.evaluate(loud, now=123.0)
+        assert alert is not None
+        assert alert.value == pytest.approx(0.3)
+        assert alert.threshold == 0.0
+        assert alert.fired_at == 123.0
+        assert "kernel.fallback" in alert.describe()
+
+    def test_rate_rule_skips_without_window(self):
+        rule = parse_rule("rate(f[10s]) > 0")
+        s = snap(counters=[counter("f", 5, rates={"60s": 1.0})])
+        assert rule.evaluate(s) is None
+
+    def test_ratio_rule(self):
+        rule = parse_rule("p99(h) > 5 * p50(h)")
+        tight = snap(histograms=[histogram("h", [1.0] * 100)])
+        heavy = snap(histograms=[histogram("h", [0.01] * 99 + [10.0] * 5)])
+        assert rule.evaluate(tight) is None
+        alert = rule.evaluate(heavy)
+        assert alert is not None
+        assert alert.value > alert.threshold
+
+    def test_ratio_rule_skips_empty_histogram(self):
+        rule = parse_rule("p99(h) > 5 * p50(h)")
+        assert rule.evaluate(snap()) is None
+
+    def test_percentile_rule(self):
+        rule = parse_rule("p99(h) > 0.5")
+        assert rule.evaluate(snap(histograms=[histogram("h", [1.0])])) is not None
+        assert rule.evaluate(snap(histograms=[histogram("h", [0.1])])) is None
+
+    def test_threshold_prefers_gauge_over_counter(self):
+        rule = parse_rule("m > 10")
+        s = snap(
+            counters=[counter("m", 100.0)],
+            gauges=[{"name": "m", "labels": {}, "value": 1.0}],
+        )
+        assert rule.evaluate(s) is None  # the gauge (1.0) wins
+        assert rule.evaluate(snap(counters=[counter("m", 100.0)])) is not None
+
+    def test_alert_as_dict_round_trip(self):
+        rule = parse_rule("m > 10")
+        alert = rule.evaluate(snap(counters=[counter("m", 11)]), now=5.0)
+        d = alert.as_dict()
+        assert d == {
+            "rule": "threshold:m",
+            "expr": "m > 10",
+            "metric": "m",
+            "value": 11.0,
+            "threshold": 10.0,
+            "fired_at": 5.0,
+        }
+
+
+class TestEngine:
+    def test_cooldown_suppresses_refiring(self):
+        engine = RuleEngine([parse_rule("m > 0", cooldown_s=10.0)])
+        bad = snap(counters=[counter("m", 1)])
+        assert len(engine.evaluate(bad, now=100.0)) == 1
+        assert engine.evaluate(bad, now=105.0) == []  # inside cooldown
+        assert len(engine.evaluate(bad, now=111.0)) == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TelemetryError, match="duplicate"):
+            RuleEngine([parse_rule("m > 0"), parse_rule("m > 1")])
+        engine = RuleEngine([parse_rule("m > 0")])
+        with pytest.raises(TelemetryError, match="duplicate"):
+            engine.add("m > 2")
+
+    def test_accepts_strings(self):
+        engine = RuleEngine(["m > 0"])
+        assert engine.rules[0].metric == "m"
+
+    def test_default_rules(self):
+        rules = default_rules()
+        names = {r.name for r in rules}
+        assert names == {
+            "kernel-fallback",
+            "executor-retry",
+            "chunk-tail-latency",
+        }
+        # A healthy empty snapshot fires nothing.
+        engine = RuleEngine(default_rules())
+        assert engine.evaluate(snap()) == []

@@ -1,0 +1,89 @@
+"""WindowedCounter under an injected clock: rates, eviction, clamping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.window import WindowedCounter
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock(1000.0)
+
+
+def test_total_accumulates_forever(clock):
+    c = WindowedCounter(clock=clock)
+    for _ in range(5):
+        clock.t += 100.0  # each add lands far past the previous horizon
+        c.add(2.0)
+    assert c.total == 10.0
+    assert c.sum_over(10.0) == 2.0  # only the newest survives the ring
+
+
+def test_rate_over_window(clock):
+    c = WindowedCounter(clock=clock)
+    for _ in range(10):
+        c.add(1.0)
+        clock.t += 1.0
+    # 10 events over the last 10 seconds -> 1 event/s.
+    assert c.rate(10.0) == pytest.approx(1.0)
+    clock.t += 10.0
+    assert c.rate(10.0) == pytest.approx(0.0)
+
+
+def test_window_sees_only_recent_increments(clock):
+    c = WindowedCounter(clock=clock)
+    c.add(100.0)
+    clock.t += 30.0
+    c.add(1.0)
+    assert c.sum_over(10.0) == 1.0
+    assert c.sum_over(60.0) == 101.0
+
+
+def test_window_clamped_to_horizon(clock):
+    c = WindowedCounter(horizon_s=20.0, clock=clock)
+    c.add(5.0)
+    clock.t += 25.0
+    c.add(1.0)
+    # A 1000 s window still cannot see past the 20 s horizon.
+    assert c.sum_over(1000.0) == 1.0
+    assert c.rate(1000.0) == pytest.approx(1.0 / 20.0)
+
+
+def test_same_bucket_coalesces(clock):
+    c = WindowedCounter(resolution_s=1.0, clock=clock)
+    c.add(1.0)
+    clock.t += 0.25
+    c.add(1.0)
+    assert len(c._ring) == 1
+    assert c.sum_over(10.0) == 2.0
+
+
+def test_snapshot_shape(clock):
+    c = WindowedCounter(clock=clock)
+    c.add(3.0)
+    snap = c.snapshot(windows=(10.0, 60.0))
+    assert snap["total"] == 3.0
+    assert set(snap["rates"]) == {"10s", "60s"}
+    assert snap["rates"]["10s"] == pytest.approx(0.3)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WindowedCounter(horizon_s=0)
+    with pytest.raises(ValueError):
+        WindowedCounter(resolution_s=0)
+    with pytest.raises(ValueError):
+        WindowedCounter(horizon_s=1.0, resolution_s=2.0)
+    c = WindowedCounter()
+    with pytest.raises(ValueError):
+        c.sum_over(0.0)

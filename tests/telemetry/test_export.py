@@ -9,13 +9,17 @@ import pytest
 from repro import telemetry
 from repro.errors import TelemetryError
 from repro.telemetry.export import (
+    collector_metrics_snapshot,
     events_as_dicts,
+    export_all,
     read_jsonl,
+    reliability_summary,
     span_stats,
     summary,
     validate_event,
     write_chrome_trace,
     write_jsonl,
+    write_openmetrics,
 )
 
 
@@ -157,3 +161,84 @@ class TestSummary:
         import re
 
         assert len([l for l in text.splitlines() if re.match(r"^  s\d", l)]) == 5
+
+
+class TestReliability:
+    def test_summary_totals_across_labels(self, collector):
+        telemetry.count("convert.cache.hit", 3, format="csr-du")
+        telemetry.count("convert.cache.hit", 1, format="csr-vi")
+        telemetry.count("convert.cache.miss", 4, format="csr-du")
+        telemetry.count("kernel.fallback", 1, format="csr-du")
+        telemetry.count("executor.retry", 2, format="csr-du")
+        telemetry.count("obs.alert", 1, rule="kernel-fallback")
+        rel = reliability_summary(collector)
+        assert rel["cache_hits"] == 4
+        assert rel["cache_misses"] == 4
+        assert rel["cache_hit_ratio"] == pytest.approx(0.5)
+        assert rel["kernel_fallbacks"] == 1
+        assert rel["executor_retries"] == 2
+        assert rel["alerts"] == 1
+
+    def test_empty_run_all_zero(self, collector):
+        rel = reliability_summary(collector)
+        assert all(v == 0 for v in rel.values())
+
+    def test_summary_text_has_reliability_section(self, collector):
+        telemetry.count("convert.cache.hit", 1, format="csr-du")
+        telemetry.count(
+            "obs.alert",
+            1,
+            extra={"expr": "m > 0", "value": 1.0, "threshold": 0.0},
+            rule="r1",
+        )
+        text = summary(collector)
+        assert "reliability" in text
+        assert "convert.cache hit ratio: 100.0%" in text
+        assert "SLO alerts fired: 1" in text
+        assert "[r1] m > 0" in text
+
+    def test_summary_text_omits_section_when_clean(self, collector):
+        telemetry.count("plan.hit", 5, format="csr")
+        assert "reliability" not in summary(collector)
+
+
+class TestOpenMetricsExport:
+    def test_collector_fallback_renders_counters(self, collector, tmp_path):
+        telemetry.count("convert.cache.miss", 2, format="csr-du")
+        telemetry.gauge("partition.imbalance", 1.25, kind="row")
+        path = tmp_path / "m.prom"
+        n = write_openmetrics(collector, str(path))
+        text = path.read_text()
+        assert n == 2
+        assert 'convert_cache_miss_total{format="csr-du"} 2' in text
+        assert 'partition_imbalance{kind="row"} 1.25' in text
+        assert text.endswith("# EOF\n")
+
+    def test_live_runtime_takes_precedence(self, collector, tmp_path):
+        from repro.obs.core import ObsRuntime
+
+        rt = ObsRuntime()
+        rt.observe("spmv.chunk.seconds", 0.01, format="csr-du")
+        path = tmp_path / "m.prom"
+        write_openmetrics(collector, str(path), obs_runtime=rt)
+        text = path.read_text()
+        assert "spmv_chunk_seconds_p99" in text
+        rt.close()
+
+    def test_collector_metrics_snapshot_parses_labels(self, collector):
+        telemetry.count("c", 1, format="csr-du", thread=3)
+        snap = collector_metrics_snapshot(collector)
+        (entry,) = snap["counters"]
+        assert entry["name"] == "c"
+        assert entry["labels"] == {"format": "csr-du", "thread": "3"}
+        assert snap["histograms"] == []
+
+    def test_export_all_includes_openmetrics(self, collector, tmp_path):
+        telemetry.count("c", 1)
+        written = export_all(
+            collector,
+            jsonl_path=str(tmp_path / "t.jsonl"),
+            openmetrics_path=str(tmp_path / "m.prom"),
+        )
+        assert set(written) == {"jsonl", "openmetrics"}
+        assert written["openmetrics"] >= 1

@@ -1,10 +1,12 @@
-"""Disabled telemetry is free: zero collector calls, bit-identical math.
+"""Disabled telemetry/obs is free: zero runtime calls, bit-identical math.
 
-The disabled fast path is a module-level ``None`` check, so no
-:class:`Collector` method may execute while telemetry is off -- these
-tests spy on the class itself to prove instrumented code paths
-(encode, kernels, the parallel executor, the bench harness) never
-reach it, and that enabling tracing changes no numeric output.
+The disabled fast path is a module-level ``None`` check (one for the
+telemetry collector, one for the obs runtime), so no :class:`Collector`
+or :class:`~repro.obs.core.ObsRuntime` method may execute while either
+is off -- these tests spy on the classes themselves to prove
+instrumented code paths (encode, kernels, the parallel executor, the
+bench harness) never reach them, and that enabling either changes no
+numeric output.
 """
 
 from __future__ import annotations
@@ -12,10 +14,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import telemetry
+from repro import obs, telemetry
 from repro.bench.harness import ExperimentConfig, run_format_matrix
 from repro.formats.conversions import convert
 from repro.formats.csr import CSRMatrix
+from repro.obs.core import ObsRuntime
 from repro.parallel.executor import ParallelSpMV
 from repro.telemetry import Collector, set_collector
 from repro.telemetry.core import _Span
@@ -24,7 +27,7 @@ from tests.conftest import random_sparse_dense
 
 @pytest.fixture
 def spy(monkeypatch):
-    """Count every Collector/_Span method invocation."""
+    """Count every Collector/_Span/ObsRuntime method invocation."""
     calls = {"n": 0}
 
     def wrap(cls, name):
@@ -40,6 +43,8 @@ def spy(monkeypatch):
         wrap(Collector, name)
     for name in ("__enter__", "__exit__", "add"):
         wrap(_Span, name)
+    for name in ("observe", "mark", "set_gauge"):
+        wrap(ObsRuntime, name)
     return calls
 
 
@@ -65,6 +70,13 @@ class TestZeroCollectorCalls:
         run_format_matrix(paper_matrix, "csr-du", ExperimentConfig())
         assert spy["n"] == 0
 
+    def test_zero_obs_calls_when_disabled(self, spy):
+        assert obs.get_runtime() is None
+        obs.observe("probe", 1.0)
+        obs.mark("probe")
+        obs.set_gauge("probe", 1.0)
+        assert spy["n"] == 0
+
     def test_spy_does_fire_when_enabled(self, spy):
         prev = set_collector(Collector())
         try:
@@ -73,6 +85,16 @@ class TestZeroCollectorCalls:
         finally:
             set_collector(prev)
         assert spy["n"] > 0  # the spy itself works
+
+    def test_obs_spy_does_fire_when_enabled(self, spy):
+        rt = ObsRuntime()
+        prev = obs.set_runtime(rt)
+        try:
+            obs.observe("probe", 1.0)
+        finally:
+            obs.set_runtime(prev)
+            rt.close()
+        assert spy["n"] > 0
 
 
 class TestBitIdentical:
@@ -83,6 +105,15 @@ class TestBitIdentical:
         finally:
             set_collector(prev)
 
+    def _with_obs(self, fn):
+        rt = ObsRuntime()
+        prev = obs.set_runtime(rt)
+        try:
+            return fn()
+        finally:
+            obs.set_runtime(prev)
+            rt.close()
+
     def test_parallel_spmv(self):
         dense = random_sparse_dense(80, 80, seed=6, quantize=16)
         csr = CSRMatrix.from_dense(dense)
@@ -92,7 +123,9 @@ class TestBitIdentical:
             with ParallelSpMV(csr, 4, format_name="csr-du-vi") as par:
                 return par(x)
 
-        assert np.array_equal(run(), self._trace(run))
+        baseline = run()
+        assert np.array_equal(baseline, self._trace(run))
+        assert np.array_equal(baseline, self._with_obs(run))
 
     def test_bench_results(self, paper_matrix):
         def run():

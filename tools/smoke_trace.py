@@ -81,6 +81,8 @@ REQUIRED_PAYLOADS: dict[str, frozenset] = {
     "parallel.chunk": frozenset({"thread", "lo", "hi", "nnz", "kind"}),
     "kernel.fallback": frozenset({"format", "from_tier", "to_tier", "error"}),
     "executor.retry": frozenset({"format", "thread", "lo", "hi", "error"}),
+    "obs.alert": frozenset({"rule", "expr", "metric", "value", "threshold"}),
+    "obs.snapshot": frozenset({"histograms", "counters", "gauges", "alerts"}),
 }
 
 
@@ -283,6 +285,143 @@ def check_fault_events() -> int:
     return 0
 
 
+def check_obs() -> int:
+    """Live observability end to end, with a fault injected.
+
+    Under a scoped :class:`~repro.obs.core.ObsRuntime` and collector:
+
+    * a multithreaded SpMV populates the ``spmv.chunk.seconds``
+      histograms;
+    * a :class:`~repro.robust.guard.GuardedKernel` whose first tier
+      always fails marks ``kernel.fallback``, which must fire the
+      default ``kernel-fallback`` SLO rule on the next evaluation;
+    * the resource monitor samples once (deterministically, no thread);
+    * the resulting ``obs.alert`` / ``obs.snapshot`` / ``obs.resource.*``
+      telemetry events must validate with their full payloads;
+    * the OpenMetrics exposition must carry the chunk-latency histogram
+      with p50/p99, the resource gauges, and the fired alert.
+    """
+    import numpy as np
+
+    from repro import obs, telemetry
+    from repro.compress.encode_cache import ConvertCache
+    from repro.errors import EncodingError
+    from repro.formats.conversions import convert
+    from repro.formats.csr import CSRMatrix
+    from repro.kernels.registry import get_kernel
+    from repro.obs.resource import ResourceMonitor
+    from repro.robust import GuardedKernel
+    from repro.parallel.executor import ParallelSpMV
+
+    rng = np.random.default_rng(31)
+    dense = (rng.random((96, 96)) < 0.1) * rng.random((96, 96))
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.random(96)
+
+    def failing_tier(matrix, x):
+        raise EncodingError("injected tier failure")
+
+    failing_tier.tier = "batched"
+
+    runtime = obs.ObsRuntime()
+    prev_runtime = obs.set_runtime(runtime)
+    prev = telemetry.set_collector(telemetry.Collector())
+    try:
+        with ParallelSpMV(
+            csr, 2, format_name="csr-du", convert_cache=ConvertCache()
+        ) as par:
+            for _ in range(3):
+                par(x)
+        du = convert(csr, "csr-du")
+        expected = du.spmv(x)
+        guarded = GuardedKernel(
+            "csr-du", chain=(failing_tier, get_kernel("csr-du", "vectorized"))
+        )
+        got = guarded(du, x)
+        ResourceMonitor(runtime).sample_once()
+        runtime.flush_snapshot()
+        text = runtime.render_openmetrics()
+        events = [
+            dataclasses.asdict(ev)
+            for ev in telemetry.get_collector().snapshot()
+        ]
+        alerts = list(runtime.alerts)
+    finally:
+        telemetry.set_collector(prev)
+        obs.set_runtime(prev_runtime)
+        runtime.close()
+    if not np.array_equal(got, expected):
+        print("smoke_trace: obs guarded fallback diverged", file=sys.stderr)
+        return 1
+    for i, event in enumerate(events):
+        try:
+            validate_event(event)
+        except TelemetryError as exc:
+            print(
+                f"smoke_trace: obs event {i} invalid: {exc}: {event!r}",
+                file=sys.stderr,
+            )
+            return 1
+    unknown = {e["name"] for e in events} - KNOWN_EVENTS
+    if unknown:
+        print(
+            f"smoke_trace: undocumented obs event names {sorted(unknown)}",
+            file=sys.stderr,
+        )
+        return 1
+    if _check_payloads(events):
+        return 1
+    if not [a for a in alerts if a.rule == "kernel-fallback"]:
+        print(
+            "smoke_trace: injected fallback did not fire the "
+            f"kernel-fallback rule (alerts: {[a.rule for a in alerts]})",
+            file=sys.stderr,
+        )
+        return 1
+    alert_events = [e for e in events if e["name"] == "obs.alert"]
+    if not alert_events:
+        print("smoke_trace: no obs.alert telemetry event", file=sys.stderr)
+        return 1
+    gauge_names = {e["name"] for e in events if e["kind"] == "gauge"}
+    missing_gauges = {
+        "obs.resource.rss_bytes",
+        "obs.resource.gc_collections",
+        "obs.resource.threads",
+    } - gauge_names
+    if missing_gauges:
+        print(
+            f"smoke_trace: resource gauges missing {sorted(missing_gauges)}",
+            file=sys.stderr,
+        )
+        return 1
+    if not [e for e in events if e["name"] == "obs.snapshot"]:
+        print("smoke_trace: no obs.snapshot event", file=sys.stderr)
+        return 1
+    required_series = (
+        "spmv_chunk_seconds_bucket",
+        "spmv_chunk_seconds_p50",
+        "spmv_chunk_seconds_p99",
+        "obs_resource_rss_bytes",
+        'obs_alerts_fired_total{rule="kernel-fallback"}',
+    )
+    for series in required_series:
+        if series not in text:
+            print(
+                f"smoke_trace: OpenMetrics snapshot missing {series!r}",
+                file=sys.stderr,
+            )
+            return 1
+    if not text.endswith("# EOF\n"):
+        print("smoke_trace: OpenMetrics snapshot missing # EOF", file=sys.stderr)
+        return 1
+    print(
+        f"smoke_trace: obs check OK ({len(alerts)} alerts, "
+        f"{sum(1 for ln in text.splitlines() if not ln.startswith('#'))} "
+        "openmetrics samples)"
+    )
+    return 0
+
+
 def run(
     *,
     scale: float = 0.03125,
@@ -295,6 +434,8 @@ def run(
     if owned:
         fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="smoke_trace_")
         os.close(fd)
+    fd, metrics_path = tempfile.mkstemp(suffix=".prom", prefix="smoke_trace_")
+    os.close(fd)
     try:
         rc = bench_main(
             [
@@ -305,6 +446,9 @@ def run(
                 str(limit),
                 "--trace",
                 path,
+                "--obs",
+                "--metrics-out",
+                metrics_path,
             ]
         )
         if rc != 0:
@@ -339,14 +483,41 @@ def run(
             return 1
         if _check_payloads(events):
             return 1
-        print(f"smoke_trace: {len(events)} events, all valid")
+        with open(metrics_path, "r", encoding="utf-8") as fh:
+            metrics_text = fh.read()
+        if not metrics_text.endswith("# EOF\n"):
+            print(
+                "smoke_trace: --metrics-out exposition missing # EOF",
+                file=sys.stderr,
+            )
+            return 1
+        samples = sum(
+            1
+            for ln in metrics_text.splitlines()
+            if ln and not ln.startswith("#")
+        )
+        if not samples:
+            print(
+                "smoke_trace: --metrics-out exposition has no samples",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"smoke_trace: {len(events)} events, all valid "
+            f"({samples} openmetrics samples)"
+        )
         rc = check_parallel_chunks()
         if rc:
             return rc
-        return check_fault_events()
+        rc = check_fault_events()
+        if rc:
+            return rc
+        return check_obs()
     finally:
         if owned and path is not None and os.path.exists(path):
             os.unlink(path)
+        if os.path.exists(metrics_path):
+            os.unlink(metrics_path)
 
 
 def main(argv: list[str] | None = None) -> int:
