@@ -181,7 +181,10 @@ def _self_test() -> list[str]:
     failures: list[str] = []
 
     def run_with(
-        time_value: float, mflops: float = 100.0, encode_speedup: float = 25.0
+        time_value: float,
+        mflops: float = 100.0,
+        encode_speedup: float = 25.0,
+        stream_s: float = 0.05,
     ) -> dict:
         return {
             "experiments": {
@@ -195,6 +198,24 @@ def _self_test() -> list[str]:
                             "batched_mnnz_per_s": 12.0 * encode_speedup,
                             "speedup": encode_speedup,
                         }
+                    }
+                },
+                # And the shape benchmarks/microbench_parallel.py emits:
+                # backend/worker scaling cells plus the out-of-core
+                # stream cell.
+                "parallel": {
+                    "cells": {
+                        "csr-du|process|4w": {
+                            "seconds": 2.0 * time_value,
+                            "mnnz_per_s": 50.0 / time_value,
+                            "speedup_vs_serial": 0.9,
+                        },
+                        "out-of-core|stream": {
+                            "stored_bytes": 19885076,
+                            "budget_bytes": 8388608,
+                            "nshards": 16,
+                            "stream_s": stream_s,
+                        },
                     }
                 },
             }
@@ -224,6 +245,12 @@ def _self_test() -> list[str]:
     collapsed = check_run(history, run_with(1.0, encode_speedup=1.0))
     if not any("encode" in r.path and "speedup" in r.path for r in collapsed):
         failures.append("collapsed encode speedup not flagged")
+
+    slow_stream = check_run(history, run_with(1.0, stream_s=5.0))
+    if not any(
+        "parallel" in r.path and "stream_s" in r.path for r in slow_stream
+    ):
+        failures.append("regressed out-of-core stream time not flagged")
 
     for _ in range(3 * DEFAULT_MAX_RUNS):
         snapshot(history, run_with(1.0))

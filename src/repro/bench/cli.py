@@ -163,6 +163,27 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--backend",
+        type=str,
+        default="thread",
+        choices=("thread", "process"),
+        help=(
+            "executor for real-clock multi-worker cells: thread "
+            "(GIL-bound) or process (shared-memory shards, true "
+            "multi-core); the model clock ignores it"
+        ),
+    )
+    parser.add_argument(
+        "--storage",
+        type=str,
+        default="mem",
+        choices=("mem", "mmap"),
+        help=(
+            "shard storage for those cells: mem (RAM / shared memory) "
+            "or mmap (out-of-core shard files)"
+        ),
+    )
+    parser.add_argument(
         "--resume",
         type=str,
         default=None,
@@ -290,6 +311,8 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale,
         kernel=args.kernel,
         encoder=args.encoder,
+        backend=args.backend,
+        storage=args.storage,
         checkpoint_path=args.resume,
     )
     trace_on = profile or html_report or args.trace or args.chrome_trace

@@ -76,6 +76,17 @@ class IntegrityError(ReproError):
         self.field = field
 
 
+class StorageError(ReproError):
+    """A shard store, buffer provider, or manifest operation failed.
+
+    Raised by :mod:`repro.storage` for unsupported formats, malformed
+    manifests, missing backing files/segments, and in-memory builds
+    that would exceed an enforced ``budget_bytes`` (the out-of-core
+    guard: the caller asked for a resident-memory ceiling the build
+    cannot honor without spilling to disk).
+    """
+
+
 class ExecutionError(ReproError):
     """One or more worker chunks of a parallel SpMV call failed.
 

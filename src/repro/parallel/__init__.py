@@ -1,4 +1,4 @@
-"""Parallelization of SpMV: work partitioning and a threaded executor."""
+"""Parallelization of SpMV: partitioning, thread and process executors."""
 
 from repro.parallel.partition import (
     BlockPartition,
@@ -9,9 +9,11 @@ from repro.parallel.partition import (
     column_partition,
     row_partition,
 )
+from repro.parallel.backends import BACKENDS, STORAGES, make_executor
 from repro.parallel.block_executor import BlockParallelSpMV
 from repro.parallel.column_executor import ColumnParallelSpMV
 from repro.parallel.executor import ParallelSpMV, reduce_partial_results
+from repro.parallel.process_executor import ProcessParallelSpMV
 
 __all__ = [
     "RowPartition",
@@ -22,7 +24,11 @@ __all__ = [
     "column_partition",
     "block_partition",
     "ParallelSpMV",
+    "ProcessParallelSpMV",
     "ColumnParallelSpMV",
     "BlockParallelSpMV",
+    "BACKENDS",
+    "STORAGES",
+    "make_executor",
     "reduce_partial_results",
 ]

@@ -1,0 +1,84 @@
+"""Backend factory: one entry point over the thread / process executors.
+
+The harness, CLI, and benchmarks select execution with two orthogonal
+axes -- ``backend`` (where the workers run) and ``storage`` (where the
+encoded shards live) -- and this module maps each combination to the
+right executor class:
+
+========  =========  ====================================================
+backend   storage    meaning
+========  =========  ====================================================
+thread    mem        :class:`~repro.parallel.executor.ParallelSpMV`,
+                     chunks as cached in-process encodes (the default)
+thread    mmap       same executor, chunks attached from packed memmap
+                     shard files (out-of-core under the GIL)
+process   mem        :class:`~repro.parallel.process_executor.
+                     ProcessParallelSpMV`, shards in POSIX shared memory
+process   mmap       same executor, workers re-open the memmap shards
+                     (out-of-core *and* GIL-free)
+========  =========  ====================================================
+
+Both classes share the calling convention (``executor(x, out=)``),
+the fault contract (:class:`~repro.errors.ExecutionError` aggregation,
+cache-invalidating retry, ``chunk_timeout``), and ``close()`` /
+context-manager lifetime, so callers treat the return value uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PartitionError
+from repro.parallel.executor import ParallelSpMV
+from repro.parallel.process_executor import ProcessParallelSpMV
+
+__all__ = ["BACKENDS", "STORAGES", "make_executor"]
+
+BACKENDS = ("thread", "process")
+STORAGES = ("mem", "mmap")
+
+
+def make_executor(
+    matrix,
+    nworkers: int,
+    *,
+    backend: str = "thread",
+    storage: str = "mem",
+    format_name: str = "csr",
+    directory: str | None = None,
+    convert_cache=None,
+    chunk_timeout: float | None = None,
+    **format_kwargs,
+):
+    """Build the executor for (*backend*, *storage*); see the table above.
+
+    ``directory`` is required when ``storage="mmap"`` (where the shard
+    files go); it is ignored for ``storage="mem"``.
+    """
+    if backend not in BACKENDS:
+        raise PartitionError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    if storage not in STORAGES:
+        raise PartitionError(
+            f"unknown storage {storage!r}; choose from {STORAGES}"
+        )
+    if backend == "thread":
+        return ParallelSpMV(
+            matrix,
+            nworkers,
+            format_name=format_name,
+            convert_cache=convert_cache,
+            chunk_timeout=chunk_timeout,
+            storage=storage,
+            directory=directory,
+            **format_kwargs,
+        )
+    return ProcessParallelSpMV(
+        matrix,
+        nworkers,
+        format_name=format_name,
+        storage=storage,
+        directory=directory,
+        convert_cache=convert_cache,
+        chunk_timeout=chunk_timeout,
+        **format_kwargs,
+    )

@@ -6,19 +6,26 @@ the matching ``x`` slice, and accumulates into a private ``y`` reduced
 at the end.  The paper highlights the scheme's knob -- "configurable
 data sizes for each thread" -- for machines with small local stores
 (the Cell); here the tile grid is the configuration.
+
+Fault contract (ported from the row executor in PR 7): every chunk's
+outcome is collected, failures aggregate into one
+:class:`~repro.errors.ExecutionError` with per-chunk context, and an
+optional ``chunk_timeout=`` bounds the wait per chunk.  No retry tier:
+tiles are materialized slices, not cached encodes.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 
 import numpy as np
 
-from repro.errors import PartitionError
+from repro.errors import ExecutionError, PartitionError
 from repro.formats.base import SparseMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.conversions import to_csr
-from repro.parallel.executor import reduce_partial_results
+from repro.parallel.executor import ChunkFailure, reduce_partial_results
 from repro.parallel.partition import BlockPartition, block_partition
 from repro.telemetry import core as telemetry
 
@@ -46,7 +53,22 @@ def _extract_tile(
 
 
 class BlockParallelSpMV:
-    """Tile-grid SpMV with private ``y`` accumulation per thread."""
+    """Tile-grid SpMV with private ``y`` accumulation per thread.
+
+    Parameters
+    ----------
+    matrix:
+        Source matrix (normalized through CSR once).
+    nthreads:
+        Worker count; tiles are assigned round-robin.
+    grid:
+        Tile grid ``(row_blocks, col_blocks)``; default
+        ``nthreads x nthreads``.
+    chunk_timeout:
+        Seconds to wait for each chunk per call (``None`` = forever);
+        an exceeded chunk is a :class:`TimeoutError` failure inside the
+        aggregated :class:`~repro.errors.ExecutionError`.
+    """
 
     def __init__(
         self,
@@ -54,12 +76,18 @@ class BlockParallelSpMV:
         nthreads: int,
         *,
         grid: tuple[int, int] | None = None,
+        chunk_timeout: float | None = None,
     ):
         if nthreads < 1:
             raise PartitionError(f"nthreads must be >= 1, got {nthreads}")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise PartitionError(
+                f"chunk_timeout must be positive, got {chunk_timeout}"
+            )
         csr = to_csr(matrix)
         self.nrows, self.ncols = csr.shape
         self.nthreads = nthreads
+        self.chunk_timeout = chunk_timeout
         self.partition: BlockPartition = block_partition(
             csr.row_ptr, csr.ncols, nthreads, grid=grid
         )
@@ -82,7 +110,7 @@ class BlockParallelSpMV:
         if x.shape != (self.ncols,):
             raise PartitionError(f"x has shape {x.shape}, expected ({self.ncols},)")
 
-        def work(t: int) -> np.ndarray:
+        def work(t: int) -> ChunkFailure | None:
             nnz = sum(tile.nnz for _, _, tile in self.tiles[t])
             with telemetry.span(
                 "parallel.chunk",
@@ -92,18 +120,50 @@ class BlockParallelSpMV:
                 nnz=int(nnz),
                 kind="block",
             ):
-                y = self._partials[t]
-                y[:] = 0.0
-                for (r0, _r1), (c0, c1), tile in self.tiles[t]:
-                    y[r0 : r0 + tile.nrows] += tile.spmv(x[c0:c1])
-                return y
+                try:
+                    y = self._partials[t]
+                    y[:] = 0.0
+                    for (r0, _r1), (c0, c1), tile in self.tiles[t]:
+                        y[r0 : r0 + tile.nrows] += tile.spmv(x[c0:c1])
+                    return None
+                except Exception as exc:
+                    return ChunkFailure(
+                        t, 0, len(self.tiles[t]), exc, retried=False
+                    )
 
+        failures: list[ChunkFailure] = []
         with telemetry.span("parallel.spmv", threads=self.nthreads, kind="block"):
             if self._pool is None:
-                partials = [work(0)]
+                failure = work(0)
+                if failure is not None:
+                    failures.append(failure)
             else:
-                partials = list(self._pool.map(work, range(self.nthreads)))
-            return reduce_partial_results(partials, out=out)
+                futures = [
+                    self._pool.submit(work, t) for t in range(self.nthreads)
+                ]
+                for t, future in enumerate(futures):
+                    try:
+                        failure = future.result(timeout=self.chunk_timeout)
+                    except FuturesTimeoutError:
+                        failure = ChunkFailure(
+                            t,
+                            0,
+                            len(self.tiles[t]),
+                            TimeoutError(
+                                f"chunk exceeded {self.chunk_timeout}s"
+                            ),
+                            retried=False,
+                        )
+                    if failure is not None:
+                        failures.append(failure)
+            if failures:
+                detail = "; ".join(f.describe() for f in failures)
+                raise ExecutionError(
+                    f"{len(failures)} of {self.nthreads} chunks failed: "
+                    f"{detail}",
+                    failures=tuple(failures),
+                )
+            return reduce_partial_results(self._partials, out=out)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -10,32 +10,63 @@ reduction for better ``x`` locality; the paper leaves the scheme
 comparison to future work, and :func:`compare_partitionings` in
 ``examples/scaling_study.py``-style studies can use both executors to
 explore it.
+
+Fault contract (ported from the row executor in PR 7): every chunk's
+outcome is collected, failures aggregate into one
+:class:`~repro.errors.ExecutionError` with per-chunk context, and an
+optional ``chunk_timeout=`` bounds the wait per chunk.  There is no
+retry tier here -- the CSC chunks are plain slices, not cached encodes,
+so there is nothing to invalidate and rebuild.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 
 import numpy as np
 
-from repro.errors import PartitionError
+from repro.errors import ExecutionError, PartitionError
 from repro.formats.base import SparseMatrix
 from repro.formats.csc import CSCMatrix
 from repro.formats.conversions import to_csr
-from repro.parallel.executor import reduce_partial_results
+from repro.parallel.executor import ChunkFailure, reduce_partial_results
 from repro.parallel.partition import ColumnPartition, column_partition
 from repro.telemetry import core as telemetry
 
 
 class ColumnParallelSpMV:
-    """Column-partitioned SpMV over CSC chunks with private ``y`` copies."""
+    """Column-partitioned SpMV over CSC chunks with private ``y`` copies.
 
-    def __init__(self, matrix: SparseMatrix, nthreads: int):
+    Parameters
+    ----------
+    matrix:
+        Source matrix (normalized through CSR, then CSC).
+    nthreads:
+        Worker count; one column block and private ``y`` per thread.
+    chunk_timeout:
+        Seconds to wait for each chunk per call (``None`` = forever);
+        an exceeded chunk is a :class:`TimeoutError` failure inside the
+        aggregated :class:`~repro.errors.ExecutionError`.
+    """
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        nthreads: int,
+        *,
+        chunk_timeout: float | None = None,
+    ):
         if nthreads < 1:
             raise PartitionError(f"nthreads must be >= 1, got {nthreads}")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise PartitionError(
+                f"chunk_timeout must be positive, got {chunk_timeout}"
+            )
         csc = CSCMatrix.from_csr(to_csr(matrix))
         self.nrows, self.ncols = csc.shape
         self.nthreads = nthreads
+        self.chunk_timeout = chunk_timeout
         self.partition: ColumnPartition = column_partition(csc.col_ptr, nthreads)
         self.chunks: list[CSCMatrix] = [
             csc.col_slice(*self.partition.cols_of(t)) for t in range(nthreads)
@@ -51,7 +82,7 @@ class ColumnParallelSpMV:
         if x.shape != (self.ncols,):
             raise PartitionError(f"x has shape {x.shape}, expected ({self.ncols},)")
 
-        def work(t: int) -> np.ndarray:
+        def work(t: int) -> ChunkFailure | None:
             lo, hi = self.partition.cols_of(t)
             with telemetry.span(
                 "parallel.chunk",
@@ -61,14 +92,46 @@ class ColumnParallelSpMV:
                 nnz=int(self.partition.nnz_per_thread[t]),
                 kind="column",
             ):
-                return self.chunks[t].spmv(x[lo:hi], out=self._partials[t])
+                try:
+                    self.chunks[t].spmv(x[lo:hi], out=self._partials[t])
+                    return None
+                except Exception as exc:
+                    return ChunkFailure(t, lo, hi, exc, retried=False)
 
+        failures: list[ChunkFailure] = []
         with telemetry.span("parallel.spmv", threads=self.nthreads, kind="column"):
             if self._pool is None:
-                partials = [work(0)]
+                failure = work(0)
+                if failure is not None:
+                    failures.append(failure)
             else:
-                partials = list(self._pool.map(work, range(self.nthreads)))
-            return reduce_partial_results(partials, out=out)
+                futures = [
+                    self._pool.submit(work, t) for t in range(self.nthreads)
+                ]
+                for t, future in enumerate(futures):
+                    lo, hi = self.partition.cols_of(t)
+                    try:
+                        failure = future.result(timeout=self.chunk_timeout)
+                    except FuturesTimeoutError:
+                        failure = ChunkFailure(
+                            t,
+                            lo,
+                            hi,
+                            TimeoutError(
+                                f"chunk exceeded {self.chunk_timeout}s"
+                            ),
+                            retried=False,
+                        )
+                    if failure is not None:
+                        failures.append(failure)
+            if failures:
+                detail = "; ".join(f.describe() for f in failures)
+                raise ExecutionError(
+                    f"{len(failures)} of {self.nthreads} chunks failed: "
+                    f"{detail}",
+                    failures=tuple(failures),
+                )
+            return reduce_partial_results(self._partials, out=out)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -20,12 +20,22 @@ the call returns with a :class:`TimeoutError` failure instead of
 hanging).
 
 Honesty note (also in DESIGN.md): NumPy releases the GIL inside its
-array operations, so the vectorized kernels do overlap -- but this
-container has a single CPU and CPython serializes the Python-level
-bookkeeping, so *measured* wall-clock scaling here says nothing about
-the paper's question.  The executor exists so the code path is real and
-testable (results must be bit-identical to serial execution); the
-scaling numbers in the tables come from :mod:`repro.machine`.
+array operations, so the vectorized kernels do overlap -- but CPython
+serializes every line of Python-level bookkeeping (and this container
+has a single CPU), so *measured* wall-clock scaling from this thread
+backend says little about the paper's question.  The backend that
+escapes the GIL is :class:`~repro.parallel.process_executor.
+ProcessParallelSpMV`: separate processes attaching shared-memory or
+memory-mapped shards (``repro.parallel.backends.make_executor`` picks
+between them).  This executor remains the reference for semantics --
+results must be bit-identical to serial execution -- and the model
+numbers in the tables come from :mod:`repro.machine`.
+
+Storage axis (PR 7): ``storage="mem"`` keeps per-thread chunks as
+ordinary cached encodes; ``storage="mmap"`` materializes them in a
+:class:`~repro.storage.shard.ShardStore` of packed memmap files, so a
+matrix larger than RAM can still be driven by the thread backend
+(chunk arrays stay disk-backed; the page cache does the streaming).
 """
 
 from __future__ import annotations
@@ -135,7 +145,17 @@ class ParallelSpMV:
         inside the aggregated :class:`~repro.errors.ExecutionError`;
         the worker thread itself keeps running to completion (threads
         cannot be killed) but its result is discarded.
+    storage:
+        ``"mem"`` (default) -- chunks are ordinary cached encodes;
+        ``"mmap"`` -- chunks live in a packed memmap
+        :class:`~repro.storage.shard.ShardStore` under *directory*, so
+        their arrays stay disk-backed (the thread backend's out-of-core
+        mode).
+    directory:
+        Shard-file directory, required for ``storage="mmap"``.
     """
+
+    backend = "thread"
 
     def __init__(
         self,
@@ -145,6 +165,8 @@ class ParallelSpMV:
         format_name: str = "csr",
         convert_cache: ConvertCache | None = None,
         chunk_timeout: float | None = None,
+        storage: str = "mem",
+        directory: str | None = None,
         **format_kwargs,
     ):
         if nthreads < 1:
@@ -152,6 +174,11 @@ class ParallelSpMV:
         if chunk_timeout is not None and chunk_timeout <= 0:
             raise PartitionError(
                 f"chunk_timeout must be positive, got {chunk_timeout}"
+            )
+        if storage not in ("mem", "mmap"):
+            raise PartitionError(
+                f"thread backend storage must be 'mem' or 'mmap', "
+                f"got {storage!r}"
             )
         csr = to_csr(matrix)
         self.nrows, self.ncols = csr.shape
@@ -163,6 +190,20 @@ class ParallelSpMV:
         self._format_kwargs = dict(format_kwargs)
         self._cache = DEFAULT_CACHE if convert_cache is None else convert_cache
         self.partition: RowPartition = row_partition(csr.row_ptr, nthreads)
+        self.store = None
+        if storage == "mmap":
+            from repro.storage.shard import ShardStore
+
+            self.store = ShardStore.build(
+                csr,
+                format_name,
+                nthreads,
+                storage="mmap",
+                directory=directory,
+                convert_cache=self._cache,
+                boundaries=self.partition.boundaries.tolist(),
+                **format_kwargs,
+            )
         self.chunks: list[SparseMatrix] = [
             self._encode_chunk(t) for t in range(nthreads)
         ]
@@ -174,15 +215,20 @@ class ParallelSpMV:
         """Convert thread *t*'s row block through the cache; plan it.
 
         The kernel plan is built up front (part of the paper's one-time
-        setup cost), so the first timed call is already hot.
+        setup cost), so the first timed call is already hot.  With
+        ``storage="mmap"`` the chunk is attached from the shard store
+        instead, so its arrays remain disk-backed views.
         """
-        lo, hi = self.partition.rows_of(t)
-        chunk = self._cache.get_or_convert(
-            self._csr,
-            self._format_name,
-            rows=(lo, hi),
-            **self._format_kwargs,
-        )
+        if self.store is not None:
+            chunk = self.store.attach(t)
+        else:
+            lo, hi = self.partition.rows_of(t)
+            chunk = self._cache.get_or_convert(
+                self._csr,
+                self._format_name,
+                rows=(lo, hi),
+                **self._format_kwargs,
+            )
         if chunk.name in PLANNABLE_FORMATS:
             get_plan(chunk)
         return chunk
@@ -190,9 +236,12 @@ class ParallelSpMV:
     def _rebuild_chunk(self, t: int) -> SparseMatrix:
         """Invalidate thread *t*'s cached encode and re-encode fresh."""
         lo, hi = self.partition.rows_of(t)
-        self._cache.invalidate(
-            self._csr, self._format_name, rows=(lo, hi), **self._format_kwargs
-        )
+        if self.store is not None:
+            self.store.rebuild_shard(t)
+        else:
+            self._cache.invalidate(
+                self._csr, self._format_name, rows=(lo, hi), **self._format_kwargs
+            )
         chunk = self._encode_chunk(t)
         self.chunks[t] = chunk
         return chunk
@@ -238,6 +287,7 @@ class ParallelSpMV:
                             "spmv.chunk.seconds",
                             time.perf_counter() - t0,
                             format=self._format_name,
+                            backend=self.backend,
                         )
                     return None
                 except RETRYABLE as exc:
@@ -260,6 +310,7 @@ class ParallelSpMV:
                                 "spmv.chunk.seconds",
                                 time.perf_counter() - t0,
                                 format=self._format_name,
+                                backend=self.backend,
                             )
                         return None
                     except Exception as exc2:
@@ -301,6 +352,7 @@ class ParallelSpMV:
                 time.perf_counter() - call_t0,
                 format=self._format_name,
                 threads=self.nthreads,
+                backend=self.backend,
             )
         if failures:
             detail = "; ".join(f.describe() for f in failures)
@@ -311,10 +363,13 @@ class ParallelSpMV:
         return y
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and release any shard store."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
 
     def __enter__(self) -> "ParallelSpMV":
         return self

@@ -1,0 +1,177 @@
+"""Streamed (out-of-core) SpMV over a shard store, with checkpoints.
+
+One shard is attached, multiplied, and released at a time, so the
+resident working set is a single shard's arrays plus ``x`` and the
+active ``y`` slice -- a matrix far larger than RAM streams through a
+fixed budget.  With a checkpoint directory the partial ``y`` lives in
+an on-disk ``.npy`` memmap and a small fsync'd progress record is
+written after every shard, so an interrupted run resumes from the last
+completed shard instead of row 0.
+
+The progress record carries a fingerprint (store identity + ``x``
+CRC32); :func:`streamed_spmv` refuses to resume a checkpoint written
+for a different matrix or input vector -- silently mixing partial
+results would be bit-exact garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError, StorageError
+from repro.obs import core as obs
+from repro.obs.resource import rss_bytes
+from repro.telemetry import core as telemetry
+
+__all__ = ["StreamResult", "streamed_spmv", "PROGRESS_NAME", "Y_PARTIAL_NAME"]
+
+PROGRESS_NAME = "progress.json"
+Y_PARTIAL_NAME = "y.partial.npy"
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one :func:`streamed_spmv` run."""
+
+    #: The full product vector (an on-disk memmap when checkpointed).
+    y: np.ndarray
+    #: Shards multiplied in *this* run (excludes resumed ones).
+    shards_done: int
+    #: Shard index the run resumed from (0 = fresh run).
+    resumed_from: int
+    #: Highest resident-set size observed between shards, in bytes.
+    peak_rss_bytes: int
+
+
+def _fingerprint(store, x: np.ndarray) -> str:
+    """Identity of (store, x) a checkpoint must match to be resumable."""
+    shard_crcs = [
+        (s["index"], [f["crc32"] for f in s["handle"]["layout"]])
+        for s in store.shards
+    ]
+    blob = json.dumps(
+        {
+            "format": store.format_name,
+            "nrows": store.nrows,
+            "ncols": store.ncols,
+            "boundaries": store.boundaries,
+            "shards": shard_crcs,
+            "x_crc32": zlib.crc32(np.ascontiguousarray(x).tobytes()),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return f"{zlib.crc32(blob.encode('ascii')):08x}"
+
+
+def _write_progress(path: str, doc: dict) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="ascii") as fh:
+        json.dump(doc, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def streamed_spmv(
+    store,
+    x: np.ndarray,
+    *,
+    checkpoint_dir: str | None = None,
+    verify: bool = True,
+) -> StreamResult:
+    """Compute ``y = A x`` one shard at a time.
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.storage.shard.ShardStore` (any storage kind;
+        mmap is the out-of-core case this exists for).
+    x:
+        Dense input vector of length ``store.ncols``.
+    checkpoint_dir:
+        When given, ``y`` is an on-disk memmap in this directory and
+        progress is recorded after every shard; a matching progress
+        record already present resumes the run from where it stopped.
+    verify:
+        Forwarded to shard attach: CRC-check every field (default on).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (store.ncols,):
+        raise FormatError(f"x has shape {x.shape}, expected ({store.ncols},)")
+
+    resumed_from = 0
+    progress_path = None
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        progress_path = os.path.join(checkpoint_dir, PROGRESS_NAME)
+        y_path = os.path.join(checkpoint_dir, Y_PARTIAL_NAME)
+        fingerprint = _fingerprint(store, x)
+        if os.path.exists(progress_path) and os.path.exists(y_path):
+            try:
+                with open(progress_path, "r", encoding="ascii") as fh:
+                    progress = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                raise StorageError(
+                    f"unreadable stream checkpoint {progress_path}: {exc}"
+                ) from exc
+            if progress.get("fingerprint") != fingerprint:
+                raise StorageError(
+                    f"checkpoint in {checkpoint_dir} belongs to a "
+                    "different (matrix, x) pair; remove it or use a "
+                    "fresh directory"
+                )
+            resumed_from = int(progress.get("shards_done", 0))
+            y = np.lib.format.open_memmap(y_path, mode="r+")
+            if y.shape != (store.nrows,):
+                raise StorageError(
+                    f"checkpointed y has shape {y.shape}, expected "
+                    f"({store.nrows},)"
+                )
+        else:
+            y = np.lib.format.open_memmap(
+                y_path, mode="w+", dtype=np.float64, shape=(store.nrows,)
+            )
+    else:
+        y = np.empty(store.nrows, dtype=np.float64)
+
+    peak_rss = 0
+    done_this_run = 0
+    with telemetry.span(
+        "storage.stream", shards=store.nshards, resumed_from=resumed_from
+    ):
+        for i in range(resumed_from, store.nshards):
+            lo, hi = store.rows_of(i)
+            shard = store.attach(i, verify=verify)
+            shard.spmv(x, out=y[lo:hi])
+            # Drop the shard before sampling so the measured peak is
+            # the streaming working set, not a pile of dead views.
+            del shard
+            done_this_run += 1
+            rss, _is_peak = rss_bytes()
+            peak_rss = max(peak_rss, rss)
+            if progress_path is not None:
+                y.flush()
+                _write_progress(
+                    progress_path,
+                    {"fingerprint": fingerprint, "shards_done": i + 1},
+                )
+                telemetry.count(
+                    "storage.stream.checkpoint",
+                    1,
+                    extra={"shard": i, "rows_done": hi},
+                    format=store.format_name,
+                )
+                obs.mark("storage.stream.checkpoint", 1, storage=store.storage)
+    obs.set_gauge("storage.stream.peak_rss_bytes", float(peak_rss))
+    return StreamResult(
+        y=y,
+        shards_done=done_this_run,
+        resumed_from=resumed_from,
+        peak_rss_bytes=peak_rss,
+    )

@@ -18,6 +18,9 @@ name                           kind     meaning / labels
 ``convert.cache.hit``          counter  conversion served from the encode cache;
                                         ``format``
 ``convert.cache.miss``         counter  conversion that had to encode; ``format``
+``convert.cache.evict.bytes``  counter  bytes released by a byte-budget LRU
+                                        eviction; ``format`` of the evicted
+                                        entry
 ``encode.batched``             span     vectorized one-pass encode; ``kind``
                                         (csr-du/csr-vi), ``policy``, ``nnz``,
                                         ``nunits``, ``ctl_bytes``
@@ -40,9 +43,24 @@ name                           kind     meaning / labels
                                         ``hi`` (row/col-block bounds), ``kind``
 ``partition.imbalance``        gauge    max/mean nnz per thread of the last split
 ``parallel.spmv``              span     one multithreaded SpMV call; ``threads``
+                                        (+ ``backend`` on the process path)
 ``parallel.chunk``             span     one thread's chunk of one call;
                                         ``thread``, ``lo``, ``hi``, ``nnz``,
-                                        ``kind`` (row/column/block)
+                                        ``kind`` (row/column/block); the
+                                        process backend emits it as a counter
+                                        with the same payload plus ``backend``
+                                        and worker-measured ``seconds``
+``storage.shard.write``        counter  one shard packed + stored; label
+                                        ``format``; payload ``index``,
+                                        ``bytes``, ``storage`` (mem/shm/mmap)
+``storage.shard.attach``       counter  one shard attached (CRC-verified)
+                                        into a process; label ``format``;
+                                        payload ``index``, ``storage``
+``storage.stream``             span     one streamed out-of-core SpMV;
+                                        ``shards``, ``resumed_from``
+``storage.stream.checkpoint``  counter  one shard's progress checkpointed;
+                                        label ``format``; payload ``shard``,
+                                        ``rows_done``
 ``validate``                   span     one integrity verification
                                         (``matrix.verify()``); ``format``,
                                         ``nnz``
@@ -98,6 +116,7 @@ KNOWN_EVENTS = frozenset(
         "convert",
         "convert.cache.hit",
         "convert.cache.miss",
+        "convert.cache.evict.bytes",
         "encode.batched",
         "encode.csr_du.unitize",
         "encode.csr_du.units",
@@ -115,6 +134,10 @@ KNOWN_EVENTS = frozenset(
         "partition.imbalance",
         "parallel.spmv",
         "parallel.chunk",
+        "storage.shard.write",
+        "storage.shard.attach",
+        "storage.stream",
+        "storage.stream.checkpoint",
         "validate",
         "kernel.fallback",
         "executor.retry",

@@ -62,10 +62,13 @@ class TestRunFormatMatrix:
         assert res.times[(1, "close")] > 0
         assert res.bounds[(1, "close")] == "wallclock"
 
-    def test_real_clock_rejects_threads(self, matrix):
-        config = ExperimentConfig(scale=SCALE, clock="real")
-        with pytest.raises(ReproError, match="serial"):
-            run_format_matrix(matrix, "csr", config, configs=((2, "close"),))
+    def test_real_clock_multiworker_uses_executor(self, matrix):
+        config = ExperimentConfig(scale=SCALE, clock="real", real_calls=1)
+        res = run_format_matrix(
+            matrix, "csr", config, configs=((2, "close"),)
+        )
+        assert res.times[(2, "close")] > 0
+        assert res.bounds[(2, "close")] == "wallclock"
 
     def test_unknown_clock(self, matrix):
         config = ExperimentConfig(scale=SCALE, clock="sundial")

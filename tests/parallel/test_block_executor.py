@@ -79,3 +79,79 @@ class TestBlockParallelSpMV:
             ya, yb, yc = a(x), b(x), c(x)
         assert np.allclose(ya, yb)
         assert np.allclose(ya, yc)
+
+
+class _BoomTile:
+    """Stands in for a materialized tile whose kernel always fails."""
+
+    nrows = 1
+    nnz = 1
+
+    def __init__(self, exc):
+        self.exc = exc
+
+    def spmv(self, x, out=None):
+        raise self.exc
+
+
+class TestBlockFaultContract:
+    """PR-7 fault semantics, ported to the block scheme."""
+
+    def test_failures_aggregate_with_context(self, csr):
+        from repro.errors import ExecutionError
+
+        x = np.random.default_rng(41).random(csr.ncols)
+        with BlockParallelSpMV(csr, 3) as p:
+            victim = next(t for t in range(3) if p.tiles[t])
+            rows, cols, _tile = p.tiles[victim][0]
+            p.tiles[victim][0] = (rows, cols, _BoomTile(ValueError("bad tile")))
+            with pytest.raises(ExecutionError) as err:
+                p(x)
+        failures = err.value.failures
+        assert len(failures) == 1
+        assert failures[0].thread == victim
+        assert isinstance(failures[0].error, ValueError)
+        assert "bad tile" in str(err.value)
+
+    def test_chunk_timeout_becomes_failure(self, csr):
+        import time
+
+        from repro.errors import ExecutionError
+
+        class _SlowTile:
+            def __init__(self, inner):
+                self.inner = inner
+                self.nrows = inner.nrows
+                self.nnz = inner.nnz
+
+            def spmv(self, x, out=None):
+                time.sleep(0.5)
+                return self.inner.spmv(x, out=out)
+
+        with BlockParallelSpMV(csr, 2, chunk_timeout=0.05) as p:
+            victim = next(t for t in range(2) if p.tiles[t])
+            rows, cols, tile = p.tiles[victim][0]
+            p.tiles[victim][0] = (rows, cols, _SlowTile(tile))
+            with pytest.raises(ExecutionError) as err:
+                p(np.ones(csr.ncols))
+        assert any(
+            isinstance(f.error, TimeoutError) for f in err.value.failures
+        )
+
+    def test_chunk_timeout_validated(self, csr):
+        with pytest.raises(PartitionError):
+            BlockParallelSpMV(csr, 2, chunk_timeout=0)
+
+    def test_recovers_after_failed_call(self, csr, dense):
+        from repro.errors import ExecutionError
+
+        x = np.random.default_rng(43).random(csr.ncols)
+        with BlockParallelSpMV(csr, 2) as p:
+            victim = next(t for t in range(2) if p.tiles[t])
+            saved = p.tiles[victim][0]
+            rows, cols, _tile = saved
+            p.tiles[victim][0] = (rows, cols, _BoomTile(ValueError("x")))
+            with pytest.raises(ExecutionError):
+                p(x)
+            p.tiles[victim][0] = saved
+            assert np.allclose(p(x), dense @ x)

@@ -66,3 +66,82 @@ class TestColumnParallelSpMV:
         csr = CSRMatrix.from_dense(np.eye(3))
         with ColumnParallelSpMV(csr, 8) as p:
             assert np.allclose(p(np.ones(3)), np.ones(3))
+
+
+class _BoomChunk:
+    """Stands in for a CSC chunk whose kernel always fails."""
+
+    def __init__(self, exc):
+        self.exc = exc
+
+    def spmv(self, x, out=None):
+        raise self.exc
+
+
+class _SlowChunk:
+    def __init__(self, inner, delay):
+        self.inner = inner
+        self.delay = delay
+
+    def spmv(self, x, out=None):
+        import time
+
+        time.sleep(self.delay)
+        return self.inner.spmv(x, out=out)
+
+
+class TestColumnFaultContract:
+    """PR-7 fault semantics, ported to the column scheme."""
+
+    def test_failures_aggregate_with_context(self, csr):
+        from repro.errors import ExecutionError
+
+        x = np.random.default_rng(31).random(csr.ncols)
+        with ColumnParallelSpMV(csr, 3) as p:
+            p.chunks[1] = _BoomChunk(ValueError("poisoned chunk"))
+            with pytest.raises(ExecutionError) as err:
+                p(x)
+        failures = err.value.failures
+        assert len(failures) == 1
+        assert failures[0].thread == 1
+        assert isinstance(failures[0].error, ValueError)
+        lo, hi = p.partition.cols_of(1)
+        assert (failures[0].lo, failures[0].hi) == (lo, hi)
+        assert "poisoned chunk" in str(err.value)
+
+    def test_all_failures_reported_not_just_first(self, csr):
+        from repro.errors import ExecutionError
+
+        with ColumnParallelSpMV(csr, 3) as p:
+            p.chunks[0] = _BoomChunk(ValueError("a"))
+            p.chunks[2] = _BoomChunk(TypeError("b"))
+            with pytest.raises(ExecutionError) as err:
+                p(np.ones(csr.ncols))
+        assert sorted(f.thread for f in err.value.failures) == [0, 2]
+
+    def test_chunk_timeout_becomes_failure(self, csr):
+        from repro.errors import ExecutionError
+
+        with ColumnParallelSpMV(csr, 2, chunk_timeout=0.05) as p:
+            p.chunks[1] = _SlowChunk(p.chunks[1], delay=0.5)
+            with pytest.raises(ExecutionError) as err:
+                p(np.ones(csr.ncols))
+        assert any(
+            isinstance(f.error, TimeoutError) for f in err.value.failures
+        )
+
+    def test_chunk_timeout_validated(self, csr):
+        with pytest.raises(PartitionError):
+            ColumnParallelSpMV(csr, 2, chunk_timeout=-1.0)
+
+    def test_recovers_after_failed_call(self, csr, dense):
+        from repro.errors import ExecutionError
+
+        x = np.random.default_rng(33).random(csr.ncols)
+        with ColumnParallelSpMV(csr, 2) as p:
+            good = p.chunks[0]
+            p.chunks[0] = _BoomChunk(ValueError("transient"))
+            with pytest.raises(ExecutionError):
+                p(x)
+            p.chunks[0] = good
+            assert np.allclose(p(x), dense @ x)

@@ -11,9 +11,11 @@ and checks that
   CSR-DU unit-width histograms, per-thread nnz counters, and one
   ``perf.attribution`` record per bench cell with its full payload.
 
-A second, self-contained check runs a small multithreaded SpMV under a
-scoped collector and validates the ``parallel.chunk`` spans (the bench
-trace above uses the model clock, which never spins up the executor).
+Further self-contained checks run under scoped collectors/runtimes:
+the ``parallel.chunk`` spans of a small multithreaded SpMV (the bench
+trace above uses the model clock, which never spins up the executor),
+the fault/observability paths, and the backend-labelled
+``spmv.chunk.seconds`` histograms of a thread-vs-process pair.
 
 Exit status 0 means the instrumentation pipeline is healthy; any
 failure prints the offending event.  The pytest suite runs :func:`run`
@@ -422,6 +424,112 @@ def check_obs() -> int:
     return 0
 
 
+def check_backend_labels() -> int:
+    """Backend-labelled chunk latency, thread vs process, end to end.
+
+    Runs the same matrix through both executors under a scoped
+    :class:`~repro.obs.core.ObsRuntime` and collector, then asserts
+
+    * the OpenMetrics exposition carries ``spmv_chunk_seconds`` series
+      for ``backend="thread"`` AND ``backend="process"`` (the scaling
+      dashboards group on this label);
+    * every process-backend ``parallel.chunk`` event validates and
+      carries the ``backend`` and worker-measured ``seconds`` payload
+      on top of the thread payload keys.
+    """
+    import numpy as np
+
+    from repro import obs, telemetry
+    from repro.formats.csr import CSRMatrix
+    from repro.parallel import make_executor
+
+    rng = np.random.default_rng(37)
+    dense = (rng.random((64, 64)) < 0.12) * rng.random((64, 64))
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.random(64)
+
+    runtime = obs.ObsRuntime()
+    prev_runtime = obs.set_runtime(runtime)
+    prev = telemetry.set_collector(telemetry.Collector())
+    try:
+        with make_executor(csr, 2, backend="thread", format_name="csr") as ex:
+            y_thread = ex(x)
+        with make_executor(csr, 2, backend="process", format_name="csr") as ex:
+            y_process = ex(x)
+        text = runtime.render_openmetrics()
+        events = [
+            dataclasses.asdict(ev)
+            for ev in telemetry.get_collector().snapshot()
+        ]
+    finally:
+        telemetry.set_collector(prev)
+        obs.set_runtime(prev_runtime)
+        runtime.close()
+    if not np.array_equal(y_thread, y_process):
+        print(
+            "smoke_trace: thread and process backends diverged",
+            file=sys.stderr,
+        )
+        return 1
+    for i, event in enumerate(events):
+        try:
+            validate_event(event)
+        except TelemetryError as exc:
+            print(
+                f"smoke_trace: backend event {i} invalid: {exc}: {event!r}",
+                file=sys.stderr,
+            )
+            return 1
+    unknown = {e["name"] for e in events} - KNOWN_EVENTS
+    if unknown:
+        print(
+            f"smoke_trace: undocumented backend event names {sorted(unknown)}",
+            file=sys.stderr,
+        )
+        return 1
+    if _check_payloads(events):
+        return 1
+    process_chunks = [
+        e
+        for e in events
+        if e["name"] == "parallel.chunk"
+        and e["attrs"].get("backend") == "process"
+    ]
+    if len(process_chunks) != 2:
+        print(
+            f"smoke_trace: expected 2 process parallel.chunk events, got "
+            f"{len(process_chunks)}",
+            file=sys.stderr,
+        )
+        return 1
+    for e in process_chunks:
+        if "seconds" not in e["attrs"]:
+            print(
+                f"smoke_trace: process chunk lacks worker seconds: {e!r}",
+                file=sys.stderr,
+            )
+            return 1
+    for backend in ("thread", "process"):
+        needle = f'backend="{backend}"'
+        series = [
+            ln
+            for ln in text.splitlines()
+            if ln.startswith("spmv_chunk_seconds") and needle in ln
+        ]
+        if not series:
+            print(
+                "smoke_trace: OpenMetrics has no spmv_chunk_seconds series "
+                f"labelled {needle}",
+                file=sys.stderr,
+            )
+            return 1
+    print(
+        f"smoke_trace: backend label check OK ({len(process_chunks)} "
+        "process chunks, both backends in the exposition)"
+    )
+    return 0
+
+
 def run(
     *,
     scale: float = 0.03125,
@@ -512,7 +620,10 @@ def run(
         rc = check_fault_events()
         if rc:
             return rc
-        return check_obs()
+        rc = check_obs()
+        if rc:
+            return rc
+        return check_backend_labels()
     finally:
         if owned and path is not None and os.path.exists(path):
             os.unlink(path)
