@@ -213,7 +213,11 @@ def main(argv: list[str] | None = None) -> int:
         "--chrome-trace",
         type=str,
         default=None,
-        help="enable telemetry and write a chrome://tracing JSON file",
+        help=(
+            "enable telemetry and write a chrome://tracing JSON file; "
+            "with --backend process the worker-side spans are merged "
+            "in, one process track per worker pid"
+        ),
     )
     parser.add_argument(
         "--top",

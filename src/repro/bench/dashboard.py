@@ -13,6 +13,9 @@ from a mail attachment or CI artifact with no network), rendering:
   recorded spans, so barrier waits are visible as gaps;
 * the **parallel balance table** from
   :func:`repro.perf.imbalance.summarize_parallel`;
+* the **workers table** -- per-worker chunk count, busy time, exact
+  p50/p99 chunk latency and retries for process-backend runs (built
+  from the worker spans ``repro.obs.xproc`` merges back);
 * **baseline deltas** -- worst relative movements of the current
   recorded run against a baseline bundle, when both are given.
 
@@ -150,10 +153,10 @@ def _correlation_section(rows: list[dict]) -> str:
 def _timeline_svg(events: Iterable[Any], *, max_spans: int = 600) -> str:
     lanes = thread_timelines(events)
     drawable = {
-        tid: [s for s in spans if s[2] in _TIMELINE_SPANS]
-        for tid, spans in lanes.items()
+        lane: [s for s in spans if s[2] in _TIMELINE_SPANS]
+        for lane, spans in lanes.items()
     }
-    drawable = {tid: spans for tid, spans in drawable.items() if spans}
+    drawable = {lane: spans for lane, spans in drawable.items() if spans}
     if not drawable:
         return "<p class=note>No parallel spans recorded in this run.</p>"
     t0 = min(s[0] for spans in drawable.values() for s in spans)
@@ -170,10 +173,11 @@ def _timeline_svg(events: Iterable[Any], *, max_spans: int = 600) -> str:
         'xmlns="http://www.w3.org/2000/svg" role="img">'
     ]
     drawn = 0
-    for row, (tid, spans) in enumerate(sorted(drawable.items())):
+    for row, ((pid, tid), spans) in enumerate(sorted(drawable.items())):
         y = row * lane_h + 16
+        label = f"tid {tid}" if pid == 0 else f"pid {pid}"
         parts.append(
-            f'<text x="2" y="{y + 12}" font-size="11">tid {tid}</text>'
+            f'<text x="2" y="{y + 12}" font-size="11">{_esc(label)}</text>'
         )
         for ts, dur, name in spans:
             if drawn >= max_spans:
@@ -202,8 +206,9 @@ def _timeline_svg(events: Iterable[Any], *, max_spans: int = 600) -> str:
         else ""
     )
     return (
-        f"<p class=note>{width_us / 1e3:.3f} ms window, one lane per OS "
-        f"thread; hover a bar for span name and duration.</p>"
+        f"<p class=note>{width_us / 1e3:.3f} ms window, one lane per "
+        f"execution stream (OS thread, or worker process for the process "
+        f"backend); hover a bar for span name and duration.</p>"
         + "".join(parts)
         + cap
     )
@@ -255,6 +260,10 @@ def _reliability_section(events: Iterable[Any], *, max_alerts: int = 50) -> str:
         "convert.cache.miss": 0.0,
         "kernel.fallback": 0.0,
         "executor.retry": 0.0,
+        "storage.shard.attach": 0.0,
+        "storage.shard.write": 0.0,
+        "storage.shard.cache.hit": 0.0,
+        "storage.shard.cache.miss": 0.0,
     }
     alerts: list[dict] = []
     for ev in _as_dicts(events):
@@ -275,6 +284,23 @@ def _reliability_section(events: Iterable[Any], *, max_alerts: int = 50) -> str:
         f"fallbacks, {totals['executor.retry']:g} executor retries, "
         f"{len(alerts)} SLO alerts</span>.</p>"
     ]
+    shard_lookups = (
+        totals["storage.shard.cache.hit"] + totals["storage.shard.cache.miss"]
+    )
+    if shard_lookups or totals["storage.shard.attach"]:
+        shard_ratio = (
+            totals["storage.shard.cache.hit"] / shard_lookups
+            if shard_lookups
+            else 0.0
+        )
+        parts.append(
+            f"<p>Shard storage: worker cache hit ratio "
+            f"<b>{shard_ratio:.1%}</b> "
+            f"({totals['storage.shard.cache.hit']:g} hits / "
+            f"{totals['storage.shard.cache.miss']:g} misses), "
+            f"{totals['storage.shard.attach']:g} attaches, "
+            f"{totals['storage.shard.write']:g} shard writes.</p>"
+        )
     if alerts:
         head = (
             "<tr><th class=l>rule</th><th class=l>expression</th>"
@@ -297,6 +323,70 @@ def _reliability_section(events: Iterable[Any], *, max_alerts: int = 50) -> str:
                 "alerts.</p>"
             )
     return "".join(parts)
+
+
+def _workers_section(events: Iterable[Any]) -> str:
+    """Per-worker table for process-backend runs.
+
+    Built from the worker-emitted ``parallel.chunk`` spans merged back
+    by ``repro.obs.xproc`` (they carry ``pid``), plus the parent's
+    ``executor.retry`` events keyed by worker index.  p50/p99 are exact
+    nearest-rank percentiles over the span durations -- the raw samples
+    are all here, unlike the live histogram's bucketed estimate.
+    """
+    workers: dict[int, dict] = {}
+    retries: dict[int, int] = {}
+    for ev in _as_dicts(events):
+        name = ev.get("name")
+        attrs = ev.get("attrs", {})
+        if (
+            name == "parallel.chunk"
+            and ev.get("kind") == "span"
+            and "pid" in attrs
+        ):
+            w = int(attrs.get("worker", attrs.get("thread", 0)))
+            rec = workers.setdefault(
+                w, {"pids": set(), "durs_us": [], "busy_us": 0.0}
+            )
+            rec["pids"].add(int(attrs["pid"]))
+            rec["durs_us"].append(float(ev.get("dur_us", 0.0)))
+            rec["busy_us"] += float(ev.get("dur_us", 0.0))
+        elif name == "executor.retry" and ev.get("kind") == "counter":
+            if "thread" in attrs:
+                t = int(attrs["thread"])
+                retries[t] = retries.get(t, 0) + int(ev.get("value", 1))
+    if not workers:
+        return (
+            "<p class=note>No process-backend worker spans in this run "
+            "(thread backend, or observability was off in the parent "
+            "when the chunks ran).</p>"
+        )
+
+    def rank(durs: list[float], q: float) -> float:
+        durs = sorted(durs)
+        idx = max(0, -(-int(q * len(durs)) // 100) - 1)
+        return durs[min(idx, len(durs) - 1)]
+
+    head = (
+        "<tr><th>worker</th><th class=l>pid</th><th>chunks</th>"
+        "<th>busy (ms)</th><th>p50 (ms)</th><th>p99 (ms)</th>"
+        "<th>retries</th></tr>"
+    )
+    body = []
+    for w in sorted(workers):
+        rec = workers[w]
+        pids = ", ".join(str(p) for p in sorted(rec["pids"]))
+        durs = rec["durs_us"]
+        body.append(
+            "<tr>"
+            f"<td>{w}</td><td class=l>{_esc(pids)}</td>"
+            f"<td>{len(durs)}</td>"
+            f"<td>{rec['busy_us'] / 1e3:.3f}</td>"
+            f"<td>{rank(durs, 50) / 1e3:.3f}</td>"
+            f"<td>{rank(durs, 99) / 1e3:.3f}</td>"
+            f"<td>{retries.get(w, 0)}</td></tr>"
+        )
+    return f"<table>{head}{''.join(body)}</table>"
 
 
 def _delta_table(baseline: dict, current: dict, *, top: int = 20) -> str:
@@ -346,6 +436,8 @@ def render_dashboard(
         _timeline_svg(evs),
         "<h2>Parallel balance</h2>",
         _balance_table(evs),
+        "<h2>Workers (process backend)</h2>",
+        _workers_section(evs),
         "<h2>Reliability and SLO alerts</h2>",
         _reliability_section(evs),
     ]

@@ -58,9 +58,19 @@ from repro.obs.profiler import SamplingProfiler
 from repro.obs.resource import ResourceMonitor
 from repro.obs.rules import Alert, Rule, RuleEngine, default_rules, parse_rule
 from repro.obs.window import WindowedCounter
+from repro.obs.xproc import (
+    TraceContext,
+    WorkerTelemetry,
+    current_context,
+    ingest_payload,
+)
 
 __all__ = [
     "ObsRuntime",
+    "TraceContext",
+    "WorkerTelemetry",
+    "current_context",
+    "ingest_payload",
     "StreamingHistogram",
     "WindowedCounter",
     "SamplingProfiler",

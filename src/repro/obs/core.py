@@ -155,6 +155,79 @@ class ObsRuntime:
         with self._lock:
             self._gauges[_key(name, labels)] = float(value)
 
+    # -- cross-process shards ----------------------------------------------
+    @property
+    def histogram_growth(self) -> float:
+        """Bucket growth factor of every histogram this runtime creates.
+
+        Worker-side runtimes must be built with the same growth or the
+        parent cannot merge their shards (``StreamingHistogram.merge``
+        rejects mismatched bucketing).
+        """
+        return self._histogram_growth
+
+    def to_shards(self) -> dict:
+        """JSON-safe dump of all histograms, counter totals and gauges.
+
+        The payload format is what :meth:`merge_shards` accepts; a
+        worker process ships it back in its status dict so the parent
+        runtime sees worker-side metrics as if recorded locally.
+        """
+        with self._lock:
+            histograms = list(self._histograms.items())
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+        return {
+            "histograms": [
+                {"name": name, "labels": dict(labels), "shard": h.to_shard()}
+                for (name, labels), h in histograms
+            ],
+            "counters": [
+                {"name": name, "labels": dict(labels), "shard": c.to_shard()}
+                for (name, labels), c in counters
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in gauges
+            ],
+        }
+
+    def merge_shards(self, payload: dict) -> None:
+        """Fold a :meth:`to_shards` payload into this runtime.
+
+        Histograms merge by bucket-count addition (merge-of-shards ==
+        histogram-of-concatenation), counters by adding the shard's
+        total at the merge instant (rates lag by one flush -- see
+        ``DESIGN.md`` 4.7), gauges last-write-wins.
+        """
+        for item in payload.get("histograms", ()):
+            key = _key(item["name"], item["labels"])
+            shard = StreamingHistogram.from_shard(item["shard"])
+            hist = self._histograms.get(key)
+            if hist is None:
+                with self._lock:
+                    hist = self._histograms.setdefault(
+                        key,
+                        StreamingHistogram(
+                            growth=shard.growth, min_value=shard.min_value
+                        ),
+                    )
+            hist.merge(shard)
+        for item in payload.get("counters", ()):
+            key = _key(item["name"], item["labels"])
+            counter = self._counters.get(key)
+            if counter is None:
+                with self._lock:
+                    counter = self._counters.setdefault(
+                        key, WindowedCounter(clock=self._clock)
+                    )
+            counter.merge_shard(item["shard"])
+        for item in payload.get("gauges", ()):
+            with self._lock:
+                self._gauges[_key(item["name"], item["labels"])] = float(
+                    item["value"]
+                )
+
     # -- snapshots ---------------------------------------------------------
     def _rate_windows(self) -> tuple[float, ...]:
         windows = set(DEFAULT_WINDOWS)

@@ -202,6 +202,49 @@ class StreamingHistogram:
             raise ValueError("merged() needs at least one shard")
         return out
 
+    # -- cross-process shard codec -----------------------------------------
+    def to_shard(self) -> dict:
+        """JSON-safe dict carrying the full merge state of this histogram.
+
+        The payload crosses process boundaries (pickled in a worker
+        status dict or serialized to JSONL), so it holds only plain
+        types: ``min``/``max`` become ``None`` when empty instead of
+        the in-memory ``inf`` sentinels, and the sparse bucket counts
+        become ``[index, count]`` pairs.
+        """
+        with self._lock:
+            return {
+                "growth": self.growth,
+                "min_value": self.min_value,
+                "counts": sorted([idx, n] for idx, n in self._counts.items()),
+                "zero_count": self.zero_count,
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+            }
+
+    @classmethod
+    def from_shard(cls, shard: dict) -> "StreamingHistogram":
+        """Rebuild a histogram from :meth:`to_shard` output.
+
+        ``merge(from_shard(a), from_shard(b))`` equals the histogram of
+        the concatenated sample streams -- the property the parent
+        relies on when folding worker shards (pinned by
+        ``tests/obs/test_xproc.py``).
+        """
+        hist = cls(float(shard["growth"]), float(shard["min_value"]))
+        for idx, n in shard.get("counts", ()):
+            hist._counts[int(idx)] = int(n)
+        hist.zero_count = int(shard.get("zero_count", 0))
+        hist.count = int(shard.get("count", 0))
+        hist.sum = float(shard.get("sum", 0.0))
+        mn = shard.get("min")
+        mx = shard.get("max")
+        hist.min = math.inf if mn is None else float(mn)
+        hist.max = -math.inf if mx is None else float(mx)
+        return hist
+
     # -- inspection --------------------------------------------------------
     def bucket_bounds(self, idx: int) -> tuple[float, float]:
         """The ``[lo, hi)`` value range of bucket *idx*."""

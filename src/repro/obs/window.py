@@ -108,6 +108,36 @@ class WindowedCounter:
         window_s = min(window_s, self.horizon_s)
         return self.sum_over(window_s, now) / window_s
 
+    # -- cross-process shard codec -----------------------------------------
+    def to_shard(self) -> dict:
+        """JSON-safe dict carrying this counter's mergeable state.
+
+        Only the all-time total crosses the process boundary: ring
+        buckets are stamped with the *worker's* monotonic clock, which
+        shares no epoch with the parent's ring, so shipping them would
+        splice two unrelated timelines.  See ``DESIGN.md`` section 4.7
+        for the resulting rate semantics.
+        """
+        with self._lock:
+            return {
+                "total": self.total,
+                "horizon_s": self.horizon_s,
+                "resolution_s": self.resolution_s,
+            }
+
+    def merge_shard(self, shard: dict, now: float | None = None) -> None:
+        """Fold a :meth:`to_shard` payload into this counter.
+
+        The shard's total lands in the ring at the merge instant, so
+        sliding-window rates see worker increments when the parent
+        merges them (once per chunk completion), not when the worker
+        recorded them -- rates lag by at most one chunk duration, while
+        ``total`` stays exact.
+        """
+        value = float(shard["total"])
+        if value:
+            self.add(value, now=now)
+
     def snapshot(self, windows: tuple[float, ...] = (10.0, 60.0)) -> dict:
         """Plain-data view: total plus rates for the given windows."""
         now = self._clock()

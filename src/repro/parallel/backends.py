@@ -22,6 +22,11 @@ Both classes share the calling convention (``executor(x, out=)``),
 the fault contract (:class:`~repro.errors.ExecutionError` aggregation,
 cache-invalidating retry, ``chunk_timeout``), and ``close()`` /
 context-manager lifetime, so callers treat the return value uniformly.
+They also share the observability contract: with telemetry or obs
+enabled, both emit ``parallel.chunk`` spans and ``spmv.chunk.seconds``
+histograms -- the process executor records them *inside* its workers
+and merges them back via :mod:`repro.obs.xproc`, so traces and metrics
+look the same whichever backend ran.
 """
 
 from __future__ import annotations

@@ -78,12 +78,24 @@ class ChunkFailure:
     error: BaseException
     #: Whether a cache-invalidating retry was attempted before giving up.
     retried: bool
+    #: ``traceback.format_exc()`` captured inside a pool worker, when the
+    #: failure crossed a process boundary (exception objects do not).
+    worker_traceback: str | None = None
 
     def describe(self) -> str:
-        return (
+        base = (
             f"thread {self.thread} rows [{self.lo}, {self.hi}): "
             f"{type(self.error).__name__}: {self.error}"
         )
+        if self.worker_traceback:
+            frames = [
+                line.strip()
+                for line in self.worker_traceback.splitlines()
+                if line.lstrip().startswith('File "')
+            ]
+            if frames:
+                base += f" [worker: {frames[-1]}]"
+        return base
 
 
 def reduce_partial_results(

@@ -36,7 +36,11 @@ from __future__ import annotations
 
 import builtins
 import multiprocessing
+import os
 import time
+import traceback
+import uuid
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -50,6 +54,7 @@ from repro.errors import ExecutionError, FormatError, PartitionError, StorageErr
 from repro.formats.base import SparseMatrix, check_out_aliasing
 from repro.formats.conversions import to_csr
 from repro.obs import core as obs
+from repro.obs import xproc
 from repro.parallel.executor import RETRYABLE, ChunkFailure
 from repro.parallel.partition import RowPartition, row_partition
 from repro.storage.provider import _attach_shm, _disarm_segment
@@ -68,10 +73,15 @@ _STORAGE_KINDS = {"mem": "shm", "shm": "shm", "mmap": "mmap"}
 # Worker side (module level: must be picklable by reference)
 # ---------------------------------------------------------------------------
 
-#: Per-worker cache of rebuilt shard matrices, keyed (index, generation).
-#: A rebuilt shard arrives with a bumped generation, so stale bytes are
-#: never served after a cache-invalidating retry.
-_SHARD_CACHE: dict[tuple[int, int], SparseMatrix] = {}
+#: Per-worker LRU cache of rebuilt shard matrices, keyed (index,
+#: generation).  A rebuilt shard arrives with a bumped generation, so
+#: stale bytes are never served after a cache-invalidating retry.  Hits
+#: move to the back; over capacity the oldest entry is evicted -- the
+#: working set survives, unlike the previous wholesale clear().
+_SHARD_CACHE: "OrderedDict[tuple[int, int], SparseMatrix]" = OrderedDict()
+
+#: Shard-cache capacity per worker process.
+_SHARD_CACHE_CAPACITY = 64
 
 #: Per-worker cache of attached x/y vector segments, keyed by name.
 _VEC_CACHE: dict[str, np.ndarray] = {}
@@ -88,6 +98,44 @@ def _attach_vector(name: str, size: int) -> np.ndarray:
     return vec
 
 
+def _cached_shard(spec: dict) -> SparseMatrix:
+    """Shard for *spec* from the worker's LRU cache, attaching on miss.
+
+    attach_shard verifies every field CRC: a poisoned shard raises
+    IntegrityError here, which the parent sees as retryable.  The
+    hit/miss marks flow through whatever telemetry/obs sinks are
+    installed in this process -- the worker-scoped ones when a trace
+    context enabled them, or the disabled fast path otherwise.
+    """
+    key = (spec["index"], spec["generation"])
+    shard = _SHARD_CACHE.get(key)
+    storage = spec["handle"]["kind"]
+    if shard is not None:
+        _SHARD_CACHE.move_to_end(key)
+        telemetry.count(
+            "storage.shard.cache.hit",
+            1,
+            extra={"index": spec["index"]},
+            storage=storage,
+        )
+        obs.mark("storage.shard.cache.hit", 1, storage=storage)
+        return shard
+    # The miss is recorded before the attach so a failing attach still
+    # counts as a miss.
+    telemetry.count(
+        "storage.shard.cache.miss",
+        1,
+        extra={"index": spec["index"]},
+        storage=storage,
+    )
+    obs.mark("storage.shard.cache.miss", 1, storage=storage)
+    shard = attach_shard(spec, verify=True)
+    _SHARD_CACHE[key] = shard
+    while len(_SHARD_CACHE) > _SHARD_CACHE_CAPACITY:
+        _SHARD_CACHE.popitem(last=False)
+    return shard
+
+
 def _worker_spmv(
     spec: dict,
     x_name: str,
@@ -101,32 +149,69 @@ def _worker_spmv(
 
     The return value is deliberately plain (no exception objects):
     errors with keyword-only constructors break pickle, and the parent
-    owns the retry decision anyway.
+    owns the retry decision anyway.  Failures carry the formatted
+    worker traceback -- exception objects cannot cross the boundary,
+    but the text can.
+
+    When the spec carries a trace context (the parent had telemetry or
+    obs enabled), the chunk runs under worker-scoped sinks and the
+    status dict ships everything recorded -- spans, counters, metric
+    shards -- back for the parent to merge (:mod:`repro.obs.xproc`).
+    Without a context nothing here touches a collector or runtime.
     """
     t0 = time.perf_counter()
+    ctx = spec.get("ctx")
+    wt: xproc.WorkerTelemetry | None = None
     try:
-        x = _attach_vector(x_name, ncols)
-        y = _attach_vector(y_name, nrows)
-        key = (spec["index"], spec["generation"])
-        shard = _SHARD_CACHE.get(key)
-        if shard is None:
-            if len(_SHARD_CACHE) > 64:
-                _SHARD_CACHE.clear()
-            # attach_shard verifies every field CRC: a poisoned shard
-            # raises IntegrityError here, which the parent sees as
-            # retryable.
-            shard = attach_shard(spec, verify=True)
-            _SHARD_CACHE[key] = shard
-        shard.spmv(x, out=y[lo:hi])
-        return {"ok": True, "seconds": time.perf_counter() - t0}
+        if ctx is not None:
+            wt = xproc.WorkerTelemetry(ctx)
+            wt.begin()
+        try:
+            with telemetry.span(
+                "parallel.chunk",
+                thread=wt.ctx.worker if wt else 0,
+                lo=lo,
+                hi=hi,
+                nnz=wt.ctx.attrs.get("nnz", 0) if wt else 0,
+                kind="row",
+                backend="process",
+                pid=os.getpid(),
+                run_id=wt.ctx.run_id if wt else "",
+            ):
+                x = _attach_vector(x_name, ncols)
+                y = _attach_vector(y_name, nrows)
+                with telemetry.span(
+                    "worker.attach",
+                    index=spec["index"],
+                    generation=spec["generation"],
+                ):
+                    shard = _cached_shard(spec)
+                with telemetry.span("worker.multiply", index=spec["index"]):
+                    shard.spmv(x, out=y[lo:hi])
+            seconds = time.perf_counter() - t0
+            if wt is not None and wt.runtime is not None:
+                wt.runtime.observe(
+                    "spmv.chunk.seconds",
+                    seconds,
+                    format=wt.ctx.attrs.get("format", ""),
+                    backend="process",
+                )
+            status = {"ok": True, "seconds": seconds}
+        finally:
+            if wt is not None:
+                wt.end()
     except BaseException as exc:  # noqa: BLE001 - must not escape the worker
-        return {
+        status = {
             "ok": False,
             "seconds": time.perf_counter() - t0,
             "error_type": type(exc).__name__,
             "error": str(exc),
             "retryable": isinstance(exc, RETRYABLE),
+            "traceback": traceback.format_exc(),
         }
+    if wt is not None and wt.began:
+        status["xproc"] = wt.payload()
+    return status
 
 
 def _rebuild_error(status: dict) -> BaseException:
@@ -253,6 +338,7 @@ class ProcessParallelSpMV:
             mp_context = "fork"
         self._ctx = get_context(mp_context) if mp_context else get_context()
         self._pool: ProcessPoolExecutor | None = None
+        self._run_id = uuid.uuid4().hex[:12]
         self._x = _SharedVector(self.ncols)
         self._y = _SharedVector(self.nrows)
         self._retired: list[_SharedVector] = []
@@ -284,9 +370,23 @@ class ProcessParallelSpMV:
     # -- the call ----------------------------------------------------------
     def _submit(self, pool: ProcessPoolExecutor, t: int):
         lo, hi = self.partition.rows_of(t)
+        # The spec dict is shared with the store's manifest, so the
+        # trace context rides on a copy.  ctx is None when both
+        # telemetry and obs are off -- the worker then makes zero
+        # observability calls (the xproc zero-overhead contract).
+        spec = dict(self.store.attach_spec(t))
+        ctx = xproc.current_context(
+            run_id=self._run_id,
+            parent="parallel.spmv",
+            worker=t,
+            nnz=int(self.partition.nnz_per_thread[t]),
+            format=self._format_name,
+        )
+        if ctx is not None:
+            spec["ctx"] = ctx
         return pool.submit(
             _worker_spmv,
-            self.store.attach_spec(t),
+            spec,
             self._x.name,
             self.ncols,
             self._y.name,
@@ -324,9 +424,20 @@ class ProcessParallelSpMV:
                 None,
                 True,
             )
+        # Worker-side telemetry/metrics merge first (also for failed
+        # chunks: their partial events show where worker time went).
+        payload = status.get("xproc")
+        if payload is not None:
+            xproc.ingest_payload(payload)
         if status["ok"]:
             runtime = obs.get_runtime()
-            if runtime is not None:
+            # The worker already observed its chunk latency when its
+            # context had obs on (shipped in the payload's shards);
+            # observing here too would double-count, so the parent
+            # records only for workers that ran without an obs scope.
+            if runtime is not None and (
+                payload is None or "shards" not in payload
+            ):
                 runtime.observe(
                     "spmv.chunk.seconds",
                     status["seconds"],
@@ -388,7 +499,12 @@ class ProcessParallelSpMV:
                 if not status.get("retryable"):
                     failures.append(
                         ChunkFailure(
-                            t, lo, hi, _rebuild_error(status), retried=False
+                            t,
+                            lo,
+                            hi,
+                            _rebuild_error(status),
+                            retried=False,
+                            worker_traceback=status.get("traceback"),
                         )
                     )
                     continue
@@ -421,7 +537,12 @@ class ProcessParallelSpMV:
                 elif status is not None and not status["ok"]:
                     failures.append(
                         ChunkFailure(
-                            t, lo, hi, _rebuild_error(status), retried=True
+                            t,
+                            lo,
+                            hi,
+                            _rebuild_error(status),
+                            retried=True,
+                            worker_traceback=status.get("traceback"),
                         )
                     )
         y_view = self._y.array

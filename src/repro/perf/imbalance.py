@@ -165,17 +165,23 @@ def format_report(report: ParallelReport) -> str:
 
 def thread_timelines(
     events: Iterable[Any],
-) -> dict[int, list[tuple[float, float, str]]]:
-    """Span lanes per OS thread id: ``{tid: [(ts_us, dur_us, name)]}``.
+) -> dict[tuple[int, int], list[tuple[float, float, str]]]:
+    """Span lanes per execution stream: ``{(pid, tid): [(ts_us, dur_us, name)]}``.
 
     The dashboard's timeline renderer consumes this; every span kind is
     included so single-threaded phases (encode, simulate) show too.
+    The lane key pairs the ``pid`` attribute (0 for in-process spans)
+    with the OS thread id: fork-pool workers inherit the parent main
+    thread's ident, so ``tid`` alone would fold every worker of a
+    process-backend run into one lane.
     """
-    lanes: dict[int, list[tuple[float, float, str]]] = {}
+    lanes: dict[tuple[int, int], list[tuple[float, float, str]]] = {}
     for ev in _as_dicts(events):
         if ev["kind"] != "span":
             continue
-        lanes.setdefault(int(ev["tid"]), []).append(
+        pid = ev["attrs"].get("pid", 0)
+        pid = pid if isinstance(pid, int) and not isinstance(pid, bool) else 0
+        lanes.setdefault((pid, int(ev["tid"])), []).append(
             (float(ev["ts_us"]), float(ev["dur_us"]), str(ev["name"]))
         )
     for spans in lanes.values():

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -37,6 +38,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.errors import IntegrityError, StorageError
+from repro.obs import core as _obs
 
 __all__ = [
     "FieldSpec",
@@ -176,22 +178,42 @@ def _views_from_buffer(
     ``bytes`` fields are the one exception to zero-copy: consumers
     (the ``ctl`` stream) require real ``bytes``, and the compressed
     index stream is the *small* side of the payload by design.
+
+    When a live obs runtime is installed, the per-field CRC re-hash
+    time is recorded into the ``storage.shard.verify.seconds``
+    histogram (one sample per attach); with observability off the
+    verify loop is untouched -- not even a clock read.
     """
     out: dict[str, np.ndarray | bytes] = {}
     base = np.frombuffer(buf, dtype=np.uint8)
+    runtime = _obs.get_runtime() if verify else None
+    verify_s = 0.0
     for spec in specs:
         raw = base[spec.offset : spec.offset + spec.nbytes]
-        if verify and zlib.crc32(raw) != spec.crc32:
-            raise IntegrityError(
-                f"shard field {spec.name!r} failed its CRC32 check in "
-                f"{context}: backing bytes changed since the shard was "
-                "stored",
-                field=spec.name,
-            )
+        if verify:
+            if runtime is None:
+                ok = zlib.crc32(raw) == spec.crc32
+            else:
+                t0 = time.perf_counter()
+                ok = zlib.crc32(raw) == spec.crc32
+                verify_s += time.perf_counter() - t0
+            if not ok:
+                raise IntegrityError(
+                    f"shard field {spec.name!r} failed its CRC32 check in "
+                    f"{context}: backing bytes changed since the shard was "
+                    "stored",
+                    field=spec.name,
+                )
         if spec.kind == "bytes":
             out[spec.name] = raw.tobytes()
         else:
             out[spec.name] = raw.view(np.dtype(spec.dtype)).reshape(spec.shape)
+    if runtime is not None:
+        runtime.observe(
+            "storage.shard.verify.seconds",
+            verify_s,
+            storage=context.split(" ", 1)[0],
+        )
     return out
 
 

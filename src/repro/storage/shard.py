@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 
 import numpy as np
@@ -69,6 +70,7 @@ def attach_shard(spec: dict, *, verify: bool = True):
     :class:`~repro.errors.IntegrityError` on mismatch -- the
     worker-side validator.
     """
+    t0 = time.perf_counter()
     fields = provider_attach(spec["handle"], verify=verify)
     matrix = rebuild_matrix(fields, spec["meta"])
     telemetry.count(
@@ -78,6 +80,11 @@ def attach_shard(spec: dict, *, verify: bool = True):
         format=spec["meta"]["format"],
     )
     obs.mark("storage.shard.attach", 1, storage=spec["handle"]["kind"])
+    obs.observe(
+        "storage.shard.attach.seconds",
+        time.perf_counter() - t0,
+        storage=spec["handle"]["kind"],
+    )
     return matrix
 
 
@@ -387,6 +394,7 @@ class ShardStore:
     def attach(self, i: int, *, verify: bool = True):
         """Shard *i* rebuilt as a matrix in this process."""
         self._check_index(i)
+        t0 = time.perf_counter()
         spec = self.shards[i]
         fields = self._provider.resolve(spec["handle"], verify=verify)
         matrix = rebuild_matrix(fields, spec["meta"])
@@ -397,6 +405,11 @@ class ShardStore:
             format=self.format_name,
         )
         obs.mark("storage.shard.attach", 1, storage=self.storage)
+        obs.observe(
+            "storage.shard.attach.seconds",
+            time.perf_counter() - t0,
+            storage=self.storage,
+        )
         return matrix
 
     def rebuild_shard(self, i: int) -> dict:
@@ -414,6 +427,7 @@ class ShardStore:
                 f"shard {i} cannot be rebuilt: this store has no source "
                 "matrix (opened from a manifest or streamed)"
             )
+        t0 = time.perf_counter()
         lo, hi = self.rows_of(i)
         from repro.compress.encode_cache import DEFAULT_CACHE
 
@@ -434,6 +448,11 @@ class ShardStore:
         self._store_shard(i, (lo, hi), encoded)
         if self.storage == "mmap":
             self.save_manifest()
+        obs.observe(
+            "storage.shard.rebuild.seconds",
+            time.perf_counter() - t0,
+            storage=self.storage,
+        )
         return self.shards[i]
 
     def _check_index(self, i: int) -> None:

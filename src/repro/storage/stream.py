@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 
@@ -156,10 +157,18 @@ def streamed_spmv(
             rss, _is_peak = rss_bytes()
             peak_rss = max(peak_rss, rss)
             if progress_path is not None:
+                ckpt_t0 = time.perf_counter()
                 y.flush()
                 _write_progress(
                     progress_path,
                     {"fingerprint": fingerprint, "shards_done": i + 1},
+                )
+                # Checkpoint write lag: the fsync'd progress record plus
+                # the y flush -- the per-shard durability cost.
+                obs.observe(
+                    "storage.checkpoint.write.seconds",
+                    time.perf_counter() - ckpt_t0,
+                    storage=store.storage,
                 )
                 telemetry.count(
                     "storage.stream.checkpoint",

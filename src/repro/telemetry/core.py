@@ -27,7 +27,7 @@ import functools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 __all__ = [
     "Event",
@@ -237,6 +237,44 @@ class Collector:
         with self._lock:
             self._events.append(ev)
             self.gauges[key] = float(value)
+
+    # -- cross-process ingestion -------------------------------------------
+    @property
+    def epoch_ns(self) -> int:
+        """The ``perf_counter_ns`` instant that ``ts_us == 0`` maps to.
+
+        Cross-process merging (:mod:`repro.obs.xproc`) needs it to
+        rebase worker timestamps onto the parent's timeline.
+        """
+        return self._epoch_ns
+
+    def ingest(
+        self,
+        events: Iterable[Event],
+        counters: dict[str, float] | None = None,
+        gauges: dict[str, float] | None = None,
+    ) -> int:
+        """Append externally-recorded *events* and fold in aggregates.
+
+        Events are appended verbatim -- callers are responsible for
+        rebasing ``ts_us`` onto this collector's epoch first (see
+        :func:`repro.obs.xproc.ingest_payload`).  *counters*/*gauges*
+        are the source collector's aggregate dicts: counter totals are
+        summed into ours under the same string keys, gauges are
+        last-write-wins.  Returns the number of events appended.
+        """
+        events = list(events)
+        with self._lock:
+            self._events.extend(events)
+            if counters:
+                for key, value in counters.items():
+                    self.counters[key] = self.counters.get(key, 0.0) + float(
+                        value
+                    )
+            if gauges:
+                for key, value in gauges.items():
+                    self.gauges[key] = float(value)
+        return len(events)
 
     # -- inspection --------------------------------------------------------
     def snapshot(self) -> list[Event]:

@@ -115,9 +115,18 @@ def write_chrome_trace(collector: Collector, path: str) -> int:
     Spans map to complete events on their real thread track; counter
     events map to Chrome counter tracks so e.g. simulated DRAM bytes
     plot as a graph over the run.
+
+    Events ingested from pool workers (:mod:`repro.obs.xproc`) carry a
+    ``pid`` attribute; those render on their own process track -- one
+    per worker pid, labelled via ``process_name`` metadata -- so a
+    multi-process run reads as one timeline with the parent at pid 0.
     """
     trace_events: list[dict[str, Any]] = []
+    pids: set[int] = set()
     for ev in collector.snapshot():
+        pid = ev.attrs.get("pid", 0)
+        pid = pid if isinstance(pid, int) and not isinstance(pid, bool) else 0
+        pids.add(pid)
         if ev.kind == "span":
             trace_events.append(
                 {
@@ -125,20 +134,9 @@ def write_chrome_trace(collector: Collector, path: str) -> int:
                     "name": ev.name,
                     "ts": ev.ts_us,
                     "dur": ev.dur_us,
-                    "pid": 0,
+                    "pid": pid,
                     "tid": ev.tid,
                     "args": ev.attrs,
-                }
-            )
-        elif ev.kind == "counter":
-            trace_events.append(
-                {
-                    "ph": "C",
-                    "name": ev.name,
-                    "ts": ev.ts_us,
-                    "pid": 0,
-                    "tid": ev.tid,
-                    "args": {ev.name: ev.value},
                 }
             )
         # Gauges have no natural Chrome phase; they ride as counters too.
@@ -148,12 +146,34 @@ def write_chrome_trace(collector: Collector, path: str) -> int:
                     "ph": "C",
                     "name": ev.name,
                     "ts": ev.ts_us,
-                    "pid": 0,
+                    "pid": pid,
                     "tid": ev.tid,
                     "args": {ev.name: ev.value},
                 }
             )
-    doc = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    # Track names only matter once there is more than one track; a
+    # single-process trace keeps the historical shape unchanged.
+    metadata = (
+        [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {
+                    "name": "parent" if pid == 0 else f"worker pid {pid}"
+                },
+            }
+            for pid in sorted(pids)
+        ]
+        if pids != {0}
+        else []
+    )
+    doc = {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+    }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, default=_jsonable)
     return len(trace_events)
@@ -202,10 +222,14 @@ def reliability_summary(collector: Collector) -> dict[str, float]:
       lookups happened);
     * ``kernel_fallbacks`` -- guarded-kernel tier degradations;
     * ``executor_retries`` -- chunks re-encoded after decode failures;
-    * ``alerts`` -- fired ``obs.alert`` SLO events.
+    * ``alerts`` -- fired ``obs.alert`` SLO events;
+    * ``shard_attaches`` and the ``shard_cache_*`` trio -- the storage
+      layer's attach traffic and the worker-side shard-cache hit ratio
+      (``storage.shard.cache.*`` marks flow back from pool workers via
+      :mod:`repro.obs.xproc`).
 
-    Anything nonzero among the last three means the run degraded
-    somewhere, even if every result was still bit-correct.
+    Anything nonzero among fallbacks/retries/alerts means the run
+    degraded somewhere, even if every result was still bit-correct.
     """
     groups = counter_breakdown(collector.counters)
 
@@ -215,6 +239,9 @@ def reliability_summary(collector: Collector) -> dict[str, float]:
     hits = total("convert.cache.hit")
     misses = total("convert.cache.miss")
     lookups = hits + misses
+    shard_hits = total("storage.shard.cache.hit")
+    shard_misses = total("storage.shard.cache.miss")
+    shard_lookups = shard_hits + shard_misses
     return {
         "cache_hits": hits,
         "cache_misses": misses,
@@ -222,6 +249,12 @@ def reliability_summary(collector: Collector) -> dict[str, float]:
         "kernel_fallbacks": total("kernel.fallback"),
         "executor_retries": total("executor.retry"),
         "alerts": total("obs.alert"),
+        "shard_attaches": total("storage.shard.attach"),
+        "shard_cache_hits": shard_hits,
+        "shard_cache_misses": shard_misses,
+        "shard_cache_hit_ratio": (
+            shard_hits / shard_lookups if shard_lookups else 0.0
+        ),
     }
 
 
@@ -261,6 +294,13 @@ def summary(collector: Collector, *, top: int = 20) -> str:
         )
         lines.append(f"  kernel fallbacks: {rel['kernel_fallbacks']:g}")
         lines.append(f"  executor retries: {rel['executor_retries']:g}")
+        if rel["shard_attaches"] or rel["shard_cache_hits"]:
+            lines.append(
+                f"  shard cache hit ratio: {rel['shard_cache_hit_ratio']:.1%} "
+                f"({rel['shard_cache_hits']:g} hits / "
+                f"{rel['shard_cache_misses']:g} misses, "
+                f"{rel['shard_attaches']:g} attaches)"
+            )
         alerts = alert_events(collector)
         lines.append(f"  SLO alerts fired: {len(alerts)}")
         for ev in alerts[:10]:

@@ -46,16 +46,31 @@ name                           kind     meaning / labels
                                         (+ ``backend`` on the process path)
 ``parallel.chunk``             span     one thread's chunk of one call;
                                         ``thread``, ``lo``, ``hi``, ``nnz``,
-                                        ``kind`` (row/column/block); the
-                                        process backend emits it as a counter
+                                        ``kind`` (row/column/block); process
+                                        workers emit the span inside the
+                                        worker (plus ``backend``, ``pid``,
+                                        ``run_id``), merged into the parent
+                                        stream by ``repro.obs.xproc``; the
+                                        parent additionally emits a counter
                                         with the same payload plus ``backend``
                                         and worker-measured ``seconds``
+``worker.attach``              span     shard-cache lookup + attach inside a
+                                        pool worker (covers CRC verify and
+                                        decode); ``index``, ``generation``
+``worker.multiply``            span     the shard kernel proper inside a
+                                        pool worker; ``index``
 ``storage.shard.write``        counter  one shard packed + stored; label
                                         ``format``; payload ``index``,
                                         ``bytes``, ``storage`` (mem/shm/mmap)
 ``storage.shard.attach``       counter  one shard attached (CRC-verified)
                                         into a process; label ``format``;
                                         payload ``index``, ``storage``
+``storage.shard.cache.hit``    counter  worker shard-LRU lookup served from
+                                        cache; label ``storage``; payload
+                                        ``index``
+``storage.shard.cache.miss``   counter  worker shard-LRU lookup that had to
+                                        attach; label ``storage``; payload
+                                        ``index``
 ``storage.stream``             span     one streamed out-of-core SpMV;
                                         ``shards``, ``resumed_from``
 ``storage.stream.checkpoint``  counter  one shard's progress checkpointed;
@@ -134,8 +149,12 @@ KNOWN_EVENTS = frozenset(
         "partition.imbalance",
         "parallel.spmv",
         "parallel.chunk",
+        "worker.attach",
+        "worker.multiply",
         "storage.shard.write",
         "storage.shard.attach",
+        "storage.shard.cache.hit",
+        "storage.shard.cache.miss",
         "storage.stream",
         "storage.stream.checkpoint",
         "validate",

@@ -103,8 +103,23 @@ class TestThreadTimelines:
             },
         ]
         lanes = thread_timelines(events)
-        assert set(lanes) == {2, 3}
-        assert lanes[3] == [(1.0, 2.0, "parallel.chunk"), (5.0, 10.0, "parallel.chunk")]
+        assert set(lanes) == {(0, 2), (0, 3)}
+        assert lanes[(0, 3)] == [
+            (1.0, 2.0, "parallel.chunk"),
+            (5.0, 10.0, "parallel.chunk"),
+        ]
+
+    def test_worker_pid_gets_own_lane(self):
+        events = [
+            _span("parallel.chunk", 1, 4, tid=3, pid=4242, worker=1),
+            _span("parallel.chunk", 1, 4, tid=3),
+            _span("parallel.spmv", 0, 10, tid=3),
+        ]
+        lanes = thread_timelines(events)
+        # The fork-pool worker shares the parent's tid; the pid attr
+        # keeps it in a separate lane.
+        assert set(lanes) == {(0, 3), (4242, 3)}
+        assert lanes[(4242, 3)] == [(1.0, 4.0, "parallel.chunk")]
 
 
 class TestRealExecutorTrace:

@@ -70,6 +70,55 @@ class TestZeroCollectorCalls:
         run_format_matrix(paper_matrix, "csr-du", ExperimentConfig())
         assert spy["n"] == 0
 
+    def test_process_worker_entry(self, spy):
+        """With both sinks off, the worker entry point is zero-call.
+
+        ``_submit`` attaches no trace context when telemetry and obs
+        are both disabled, so ``_worker_spmv`` must run its chunk
+        without touching a Collector or ObsRuntime.  Calling it
+        directly (in-process, like a fork worker would inherit this
+        interpreter state) puts the spy inside the worker path.
+        """
+        from repro.obs import xproc
+        from repro.parallel import process_executor as pe
+        from repro.storage import provider
+
+        assert telemetry.get_collector() is None
+        assert obs.get_runtime() is None
+        assert xproc.current_context(run_id="r", parent="p", worker=0) is None
+        dense = random_sparse_dense(64, 64, seed=7)
+        csr = CSRMatrix.from_dense(dense)
+        x = np.random.default_rng(2).random(64)
+        try:
+            with pe.ProcessParallelSpMV(csr, 2, format_name="csr") as par:
+                np.copyto(par._x.array, x)
+                for t in range(par.nworkers):
+                    lo, hi = par.partition.rows_of(t)
+                    spec = dict(par.store.attach_spec(t))
+                    assert "ctx" not in spec
+                    status = pe._worker_spmv(
+                        spec,
+                        par._x.name,
+                        par.ncols,
+                        par._y.name,
+                        par.nrows,
+                        lo,
+                        hi,
+                    )
+                    assert status["ok"]
+                    assert "xproc" not in status
+                assert np.allclose(par._y.array, csr.spmv(x))
+        finally:
+            # Running the worker entry in-process left attachments in
+            # the per-worker caches; a real worker holds them for its
+            # whole life, but here they would GC noisily at exit.
+            pe._VEC_CACHE.clear()
+            pe._SHARD_CACHE.clear()
+            for seg in provider._SHM_ATTACHED.values():
+                provider._disarm_segment(seg)
+            provider._SHM_ATTACHED.clear()
+        assert spy["n"] == 0
+
     def test_zero_obs_calls_when_disabled(self, spy):
         assert obs.get_runtime() is None
         obs.observe("probe", 1.0)

@@ -14,8 +14,10 @@ and checks that
 Further self-contained checks run under scoped collectors/runtimes:
 the ``parallel.chunk`` spans of a small multithreaded SpMV (the bench
 trace above uses the model clock, which never spins up the executor),
-the fault/observability paths, and the backend-labelled
-``spmv.chunk.seconds`` histograms of a thread-vs-process pair.
+the fault/observability paths, the backend-labelled
+``spmv.chunk.seconds`` histograms of a thread-vs-process pair, and the
+cross-process merge (worker spans, shard-merged histograms, per-worker
+chrome tracks via ``--chrome-out``).
 
 Exit status 0 means the instrumentation pipeline is healthy; any
 failure prints the offending event.  The pytest suite runs :func:`run`
@@ -489,10 +491,13 @@ def check_backend_labels() -> int:
         return 1
     if _check_payloads(events):
         return 1
+    # Workers now emit parallel.chunk *spans* too (merged by xproc);
+    # the parent's per-chunk record is the counter event.
     process_chunks = [
         e
         for e in events
         if e["name"] == "parallel.chunk"
+        and e["kind"] == "counter"
         and e["attrs"].get("backend") == "process"
     ]
     if len(process_chunks) != 2:
@@ -530,12 +535,173 @@ def check_backend_labels() -> int:
     return 0
 
 
+def check_xproc(
+    nworkers: int = 2, calls: int = 3, chrome_out: str | None = None
+) -> int:
+    """Cross-process observability merge, end to end.
+
+    Runs the process backend under a scoped collector + runtime and
+    asserts the :mod:`repro.obs.xproc` merge delivered:
+
+    * worker-emitted ``parallel.chunk`` spans with distinct worker pids
+      (none of them the parent's) next to ``worker.attach`` /
+      ``worker.multiply`` sub-spans;
+    * a merged ``spmv.chunk.seconds`` histogram whose count equals the
+      total chunks executed (workers x calls) and whose samples reach
+      the OpenMetrics exposition labelled ``backend="process"``;
+    * per-worker balance recovery (:func:`summarize_parallel` sees
+      every worker of every call);
+    * with ``chrome_out``, a merged chrome://tracing file carrying one
+      process track per worker pid.
+    """
+    import json
+
+    import numpy as np
+
+    from repro import obs, telemetry
+    from repro.formats.csr import CSRMatrix
+    from repro.parallel import make_executor
+    from repro.perf.imbalance import summarize_parallel
+    from repro.telemetry.export import write_chrome_trace
+
+    rng = np.random.default_rng(41)
+    dense = (rng.random((96, 96)) < 0.1) * rng.random((96, 96))
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.random(96)
+    expected = csr.spmv(x)
+
+    runtime = obs.ObsRuntime(rules=())
+    prev_runtime = obs.set_runtime(runtime)
+    collector = telemetry.Collector()
+    prev = telemetry.set_collector(collector)
+    try:
+        with make_executor(
+            csr, nworkers, backend="process", format_name="csr"
+        ) as ex:
+            for _ in range(calls):
+                got = ex(x)
+        snap = runtime.snapshot()
+        text = runtime.render_openmetrics()
+        events = [dataclasses.asdict(ev) for ev in collector.snapshot()]
+        if chrome_out:
+            write_chrome_trace(collector, chrome_out)
+    finally:
+        telemetry.set_collector(prev)
+        obs.set_runtime(prev_runtime)
+        runtime.close()
+    if not np.allclose(got, expected, rtol=1e-13, atol=1e-13):
+        print("smoke_trace: xproc process SpMV diverged", file=sys.stderr)
+        return 1
+    for i, event in enumerate(events):
+        try:
+            validate_event(event)
+        except TelemetryError as exc:
+            print(
+                f"smoke_trace: xproc event {i} invalid: {exc}: {event!r}",
+                file=sys.stderr,
+            )
+            return 1
+    unknown = {e["name"] for e in events} - KNOWN_EVENTS
+    if unknown:
+        print(
+            f"smoke_trace: undocumented xproc event names {sorted(unknown)}",
+            file=sys.stderr,
+        )
+        return 1
+    if _check_payloads(events):
+        return 1
+    worker_spans = [
+        e
+        for e in events
+        if e["kind"] == "span"
+        and e["name"] == "parallel.chunk"
+        and "pid" in e["attrs"]
+    ]
+    if len(worker_spans) != nworkers * calls:
+        print(
+            f"smoke_trace: expected {nworkers * calls} worker chunk spans, "
+            f"got {len(worker_spans)}",
+            file=sys.stderr,
+        )
+        return 1
+    pids = {e["attrs"]["pid"] for e in worker_spans}
+    if len(pids) != nworkers or os.getpid() in pids:
+        print(
+            f"smoke_trace: worker span pids wrong: {sorted(pids)} "
+            f"(parent {os.getpid()}, {nworkers} workers)",
+            file=sys.stderr,
+        )
+        return 1
+    for sub in ("worker.attach", "worker.multiply"):
+        n = sum(1 for e in events if e["name"] == sub)
+        if not n:
+            print(f"smoke_trace: no {sub} spans merged", file=sys.stderr)
+            return 1
+    merged = [
+        h
+        for h in snap["histograms"]
+        if h["name"] == "spmv.chunk.seconds"
+        and h["labels"].get("backend") == "process"
+    ]
+    if len(merged) != 1 or merged[0]["count"] != nworkers * calls:
+        counts = [h["count"] for h in merged]
+        print(
+            f"smoke_trace: merged spmv.chunk.seconds wrong: {len(merged)} "
+            f"series, counts {counts} (want 1 series of {nworkers * calls})",
+            file=sys.stderr,
+        )
+        return 1
+    needle = 'backend="process"'
+    if not any(
+        ln.startswith("spmv_chunk_seconds") and needle in ln
+        for ln in text.splitlines()
+    ):
+        print(
+            "smoke_trace: OpenMetrics lacks worker-fed spmv_chunk_seconds "
+            f"series labelled {needle}",
+            file=sys.stderr,
+        )
+        return 1
+    report = summarize_parallel(events)
+    process_calls = [c for c in report.calls if len(c.busy_us) == nworkers]
+    if len(process_calls) != calls:
+        print(
+            f"smoke_trace: balance recovery found {len(process_calls)} "
+            f"{nworkers}-worker calls, want {calls}",
+            file=sys.stderr,
+        )
+        return 1
+    if chrome_out:
+        with open(chrome_out, "r", encoding="utf-8") as fh:
+            trace = json.load(fh)
+        trace_pids = {
+            ev["pid"]
+            for ev in trace["traceEvents"]
+            if ev.get("ph") == "X"
+        }
+        if not pids <= trace_pids:
+            print(
+                f"smoke_trace: chrome trace lacks worker tracks "
+                f"(pids {sorted(trace_pids)}, want {sorted(pids)})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"smoke_trace: merged chrome trace at {chrome_out}")
+    print(
+        f"smoke_trace: xproc check OK ({len(worker_spans)} worker spans "
+        f"from {len(pids)} pids, merged histogram count "
+        f"{merged[0]['count']})"
+    )
+    return 0
+
+
 def run(
     *,
     scale: float = 0.03125,
     limit: int = 2,
     path: str | None = None,
     experiment: str = "table2",
+    chrome_out: str | None = None,
 ) -> int:
     """Run one traced experiment and validate the trace; 0 on success."""
     owned = path is None
@@ -623,7 +789,10 @@ def run(
         rc = check_obs()
         if rc:
             return rc
-        return check_backend_labels()
+        rc = check_backend_labels()
+        if rc:
+            return rc
+        return check_xproc(chrome_out=chrome_out)
     finally:
         if owned and path is not None and os.path.exists(path):
             os.unlink(path)
@@ -639,12 +808,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trace", type=str, default=None, help="keep the trace at this path"
     )
+    parser.add_argument(
+        "--chrome-out",
+        type=str,
+        default=None,
+        help="write the xproc check's merged chrome trace here",
+    )
     args = parser.parse_args(argv)
     return run(
         scale=args.scale,
         limit=args.limit,
         path=args.trace,
         experiment=args.experiment,
+        chrome_out=args.chrome_out,
     )
 
 
