@@ -175,8 +175,9 @@ def _self_test() -> list[str]:
     encode-throughput cell in the ``BENCH_encode.json`` shape), then
     asserts (a) a clean fourth run passes, (b) a run with an injected
     regression on the exact cell fails, (c) a collapsed encode speedup
-    is flagged, (d) snapshotting keeps the window bounded.  Returns
-    failure descriptions (empty = pass).
+    is flagged, (d) a regressed advisor regret cell is flagged, (e)
+    snapshotting keeps the window bounded.  Returns failure
+    descriptions (empty = pass).
     """
     failures: list[str] = []
 
@@ -185,6 +186,7 @@ def _self_test() -> list[str]:
         mflops: float = 100.0,
         encode_speedup: float = 25.0,
         stream_s: float = 0.05,
+        advisor_regret: float = 1.05,
     ) -> dict:
         return {
             "experiments": {
@@ -215,6 +217,22 @@ def _self_test() -> list[str]:
                             "budget_bytes": 8388608,
                             "nshards": 16,
                             "stream_s": stream_s,
+                        },
+                    }
+                },
+                # And the shape benchmarks/microbench_advisor.py emits:
+                # per-matrix regret cells plus the corpus summary.
+                "advisor": {
+                    "cells": {
+                        "cat03|regret": {
+                            "regret": advisor_regret,
+                            "advisor_s": 0.001 * advisor_regret,
+                            "oracle_s": 0.001,
+                        },
+                        "summary|regret": {
+                            "geomean_regret": advisor_regret,
+                            "top1_rate": 0.8,
+                            "top3_rate": 1.0,
                         },
                     }
                 },
@@ -251,6 +269,12 @@ def _self_test() -> list[str]:
         "parallel" in r.path and "stream_s" in r.path for r in slow_stream
     ):
         failures.append("regressed out-of-core stream time not flagged")
+
+    bad_advice = check_run(history, run_with(1.0, advisor_regret=1.6))
+    if not any(
+        "advisor" in r.path and "regret" in r.path for r in bad_advice
+    ):
+        failures.append("regressed advisor regret not flagged")
 
     for _ in range(3 * DEFAULT_MAX_RUNS):
         snapshot(history, run_with(1.0))

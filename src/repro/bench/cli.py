@@ -150,7 +150,30 @@ def main(argv: list[str] | None = None) -> int:
         default="cached",
         help=(
             "kernel tier timed by the real clock (cached, batched, "
-            "vectorized, reference); the model clock ignores it"
+            "vectorized, reference, or auto -- the configuration "
+            "advisor picks per matrix+format); the model clock "
+            "ignores it"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        type=str,
+        default=None,
+        dest="format_name",
+        help=(
+            "override the compressed format of every experiment "
+            "(csr-du, csr-vi, csr-du-vi, ..., or auto -- the advisor "
+            "picks per matrix); the CSR baseline column always stays"
+        ),
+    )
+    parser.add_argument(
+        "--threads",
+        type=str,
+        default=None,
+        help=(
+            "collapse each experiment's thread configurations to one: "
+            "an integer pins the count, auto asks the advisor per "
+            "matrix (GIL/CPU-aware under the real clock)"
         ),
     )
     parser.add_argument(
@@ -241,6 +264,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--advisor-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "BENCH_advisor.json to source the dashboard's advisor "
+            "summary table from (predicted vs oracle configs, regret, "
+            "prediction error)"
+        ),
+    )
+    parser.add_argument(
         "--obs",
         action="store_true",
         help=(
@@ -311,12 +345,19 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("'report-html' needs at least one experiment to run")
     if "all" in names:
         names = list(_EXPERIMENTS)
+    if args.threads is not None and args.threads != "auto":
+        try:
+            int(args.threads)
+        except ValueError:
+            parser.error("--threads takes an integer or 'auto'")
     config = ExperimentConfig(
         scale=args.scale,
         kernel=args.kernel,
         encoder=args.encoder,
         backend=args.backend,
         storage=args.storage,
+        format_override=args.format_name,
+        threads_choice=args.threads,
         checkpoint_path=args.resume,
     )
     trace_on = profile or html_report or args.trace or args.chrome_trace
@@ -429,11 +470,18 @@ def main(argv: list[str] | None = None) -> int:
                     if baseline is not None
                     else None
                 )
+                advisor_data = None
+                if args.advisor_json:
+                    import json as _json
+
+                    with open(args.advisor_json, "r", encoding="utf-8") as fh:
+                        advisor_data = _json.load(fh)
                 path = write_dashboard(
                     args.html,
                     collector.snapshot(),
                     baseline=baseline,
                     current=current,
+                    advisor=advisor_data,
                 )
                 print(f"[dashboard] wrote {path}")
     finally:

@@ -17,7 +17,11 @@ from a mail attachment or CI artifact with no network), rendering:
   p50/p99 chunk latency and retries for process-backend runs (built
   from the worker spans ``repro.obs.xproc`` merges back);
 * **baseline deltas** -- worst relative movements of the current
-  recorded run against a baseline bundle, when both are given.
+  recorded run against a baseline bundle, when both are given;
+* the **advisor summary** -- per-matrix predicted config vs exhaustive
+  oracle config, regret and prediction error, rendered from a
+  ``BENCH_advisor.json`` bundle (``--advisor-json``) and/or the
+  ``advisor.pick`` telemetry events the run emitted.
 
 Everything renders from data already collected elsewhere (telemetry
 events, recorded-run JSON); this module only formats.
@@ -389,6 +393,99 @@ def _workers_section(events: Iterable[Any]) -> str:
     return f"<table>{head}{''.join(body)}</table>"
 
 
+def _advisor_section(
+    events: Iterable[Any], advisor: dict | None = None
+) -> str:
+    """Advisor quality: predicted config vs oracle, regret, error.
+
+    Two sources, both optional: a ``BENCH_advisor.json`` bundle (the
+    microbench's oracle sweep -- carries per-matrix regret) and the
+    run's own ``advisor.pick`` events (advise/realized pairs emitted
+    live by :func:`repro.perf.advisor.advise`).
+    """
+    parts: list[str] = []
+    if advisor:
+        summary = advisor.get("summary", {})
+        geo = float(summary.get("geomean_regret", 0.0))
+        bound = float(advisor.get("regret_bound", 0.0))
+        cls = "ok" if not bound or geo <= bound else "bad"
+        parts.append(
+            f"<p>Oracle sweep over {int(summary.get('nmatrices', 0))} "
+            f"matrices: geometric-mean regret "
+            f"<span class='{cls}'><b>{geo:.3f}x</b></span>"
+            + (f" (bound {bound:g}x)" if bound else "")
+            + f", top-1 hit rate {float(summary.get('top1_rate', 0.0)):.0%}, "
+            f"top-3 hit rate {float(summary.get('top3_rate', 0.0)):.0%}, "
+            f"<code>--format auto</code> bit-identical: "
+            f"<b>{summary.get('bit_identical', '?')}</b>.</p>"
+        )
+        results = advisor.get("results", [])
+        if results:
+            head = (
+                "<tr><th class=l>matrix</th><th>nnz</th>"
+                "<th class=l>predicted config</th>"
+                "<th class=l>oracle config</th><th>predicted (s)</th>"
+                "<th>measured (s)</th><th>oracle (s)</th><th>regret</th>"
+                "<th>pred err</th></tr>"
+            )
+            body = []
+            for r in results:
+                regret = float(r.get("regret", 1.0))
+                rcls = "bad" if bound and regret > bound else ""
+                body.append(
+                    "<tr>"
+                    f"<td class=l>{_esc(r.get('matrix', '?'))}</td>"
+                    f"<td>{int(r.get('nnz', 0))}</td>"
+                    f"<td class=l>{_esc(r.get('predicted', '?'))}</td>"
+                    f"<td class=l>{_esc(r.get('oracle', '?'))}</td>"
+                    f"<td>{float(r.get('predicted_s', 0.0)):.3e}</td>"
+                    f"<td>{float(r.get('measured_s', 0.0)):.3e}</td>"
+                    f"<td>{float(r.get('oracle_s', 0.0)):.3e}</td>"
+                    f"<td class='{rcls}'>{regret:.3f}</td>"
+                    f"<td>{float(r.get('prediction_error', 0.0)):+.1%}</td>"
+                    "</tr>"
+                )
+            parts.append(f"<table>{head}{''.join(body)}</table>")
+    picks = [
+        dict(ev.get("attrs", {}))
+        for ev in _as_dicts(events)
+        if ev.get("name") == "advisor.pick"
+    ]
+    if picks:
+        head = (
+            "<tr><th>matrix</th><th class=l>format</th><th class=l>kernel</th>"
+            "<th>thr</th><th class=l>backend</th><th class=l>source</th>"
+            "<th class=l>phase</th><th>predicted (s)</th>"
+            "<th>realized (s)</th></tr>"
+        )
+        body = []
+        for p in picks:
+            body.append(
+                "<tr>"
+                f"<td>{_esc(p.get('matrix_id', '?'))}</td>"
+                f"<td class=l>{_esc(p.get('format', '?'))}</td>"
+                f"<td class=l>{_esc(p.get('kernel', '?'))}</td>"
+                f"<td>{_esc(p.get('threads', '?'))}</td>"
+                f"<td class=l>{_esc(p.get('backend', '?'))}</td>"
+                f"<td class=l>{_esc(p.get('source', '?'))}</td>"
+                f"<td class=l>{_esc(p.get('phase', '?'))}</td>"
+                f"<td>{float(p.get('predicted_s', 0.0)):.3e}</td>"
+                f"<td>{float(p.get('realized_s', 0.0)):.3e}</td>"
+                "</tr>"
+            )
+        parts.append(
+            f"<p class=note>{len(picks)} advisor.pick events in this "
+            f"run.</p><table>{head}{''.join(body)}</table>"
+        )
+    if not parts:
+        return (
+            "<p class=note>No advisor data: pass --advisor-json with a "
+            "BENCH_advisor.json, or run with --format/--kernel/--threads "
+            "auto to emit advisor.pick events.</p>"
+        )
+    return "".join(parts)
+
+
 def _delta_table(baseline: dict, current: dict, *, top: int = 20) -> str:
     deviations, mismatches = compare_runs(baseline, current)
     moved = sorted(deviations, key=lambda d: -d.relative)
@@ -422,6 +519,7 @@ def render_dashboard(
     title: str = "SpMV performance report",
     baseline: dict | None = None,
     current: dict | None = None,
+    advisor: dict | None = None,
 ) -> str:
     """The full report as one self-contained HTML string."""
     evs = _as_dicts(events)
@@ -432,6 +530,8 @@ def render_dashboard(
         _attribution_table(rows),
         "<h2>Compression vs speedup</h2>",
         _correlation_section(rows),
+        "<h2>Advisor (predicted vs oracle)</h2>",
+        _advisor_section(evs, advisor),
         "<h2>Per-thread timelines</h2>",
         _timeline_svg(evs),
         "<h2>Parallel balance</h2>",

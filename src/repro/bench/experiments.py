@@ -74,6 +74,10 @@ def table2(
     }
     speedups: dict[tuple[int, str], dict[str, tuple[float, float, float]]] = {}
     for key in TABLE2_CONFIGS[1:]:
+        # A --threads override collapses the run to (serial, picked);
+        # aggregate only the configurations every matrix actually ran.
+        if any(key not in results[i]["csr"].times for i in ids):
+            continue
         speedups[key] = {
             name: aggregate([results[i]["csr"].scaling(key) for i in sids])
             for name, sids in sets.items()
@@ -96,6 +100,20 @@ class SpeedupTableResult:
     ids_used: dict[str, tuple[int, ...]] = field(default_factory=dict)
 
 
+def _ran_format(result_map: dict, requested: str) -> str:
+    """The compressed format that actually ran for one matrix.
+
+    With ``config.format_override`` set (``--format``), the harness may
+    have replaced *requested* with another format -- or with nothing
+    but the CSR baseline, when the advisor's ``auto`` pick *is* plain
+    CSR (the speedup then reads 1.0, honestly).
+    """
+    if requested in result_map:
+        return requested
+    compressed = [name for name in result_map if name != "csr"]
+    return compressed[0] if compressed else "csr"
+
+
 def _speedup_table(
     format_name: str,
     sets: dict[str, tuple[int, ...]],
@@ -104,12 +122,20 @@ def _speedup_table(
     all_ids = tuple(sorted({i for sids in sets.values() for i in sids}))
     configs = tuple((t, _CLOSE) for t in SPEEDUP_THREADS)
     results = run_set(all_ids, ("csr", format_name), config, configs=configs)
+    # A --threads override collapses the sweep to (serial, picked);
+    # tabulate only thread counts every matrix actually ran.
+    threads_ran = tuple(
+        t
+        for t in SPEEDUP_THREADS
+        if all((t, _CLOSE) in results[mid]["csr"].times for mid in all_ids)
+    )
     rows: dict[int, dict[str, tuple[float, float, float, int]]] = {}
-    per_matrix: dict[int, dict[int, float]] = {t: {} for t in SPEEDUP_THREADS}
-    for threads in SPEEDUP_THREADS:
+    per_matrix: dict[int, dict[int, float]] = {t: {} for t in threads_ran}
+    for threads in threads_ran:
         key = (threads, _CLOSE)
         for mid in all_ids:
-            per_matrix[threads][mid] = results[mid][format_name].speedup_vs(
+            ran = _ran_format(results[mid], format_name)
+            per_matrix[threads][mid] = results[mid][ran].speedup_vs(
                 results[mid]["csr"], key
             )
         rows[threads] = {}
@@ -182,8 +208,11 @@ def _figure(
     series = []
     for mid in ids:
         csr_res = results[mid]["csr"]
-        cmp_res = results[mid][format_name]
+        cmp_res = results[mid][_ran_format(results[mid], format_name)]
         csr_serial = csr_res.times[(1, _CLOSE)]
+        threads_ran = tuple(
+            t for t in SPEEDUP_THREADS if (t, _CLOSE) in csr_res.times
+        )
         series.append(
             FigSeries(
                 matrix_id=mid,
@@ -191,15 +220,15 @@ def _figure(
                 size_reduction=cmp_res.size_reduction,
                 compressed_speedups={
                     t: csr_serial / cmp_res.times[(t, _CLOSE)]
-                    for t in SPEEDUP_THREADS
+                    for t in threads_ran
                 },
                 csr_speedups={
                     t: csr_serial / csr_res.times[(t, _CLOSE)]
-                    for t in SPEEDUP_THREADS
+                    for t in threads_ran
                 },
             )
         )
-    series.sort(key=lambda s: s.compressed_speedups[SPEEDUP_THREADS[-1]])
+    series.sort(key=lambda s: s.compressed_speedups[max(s.compressed_speedups)])
     return FigResult(format_name=format_name, series=tuple(series))
 
 

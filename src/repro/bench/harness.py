@@ -53,6 +53,101 @@ TABLE2_CONFIGS: tuple[tuple[int, str], ...] = (
 SPEEDUP_THREADS: tuple[int, ...] = (1, 2, 4, 8)
 
 
+def _advise(matrix, config, *, matrix_id, formats, kernels, threads):
+    """One advisor call with this run's machine/cost-model context."""
+    from repro.perf.advisor import advise
+
+    return advise(
+        matrix,
+        matrix_id=matrix_id,
+        clock=config.clock,
+        formats=formats,
+        kernels=kernels,
+        threads=threads,
+        backends=(config.backend,),
+        machine=config.scaled_machine(),
+        cost_model=config.cost_model,
+    )
+
+
+def resolve_kernel(matrix, format_name: str, config, matrix_id: int = -1) -> str:
+    """The tier ``kernel="auto"`` runs for (*matrix*, *format_name*)."""
+    if config.kernel != "auto":
+        return config.kernel
+    from repro.perf.advisor.model import ADVISOR_KERNELS
+
+    choice = _advise(
+        matrix,
+        config,
+        matrix_id=matrix_id,
+        formats=(format_name,),
+        kernels=ADVISOR_KERNELS,
+        threads=(1,),
+    )
+    return choice.config.kernel
+
+
+def resolve_thread_configs(
+    matrix, config, matrix_id: int = -1
+) -> tuple[tuple[int, str], ...]:
+    """The configurations ``threads_choice`` collapses a run to.
+
+    The serial ``(1, "close")`` cell is always kept: it is the
+    denominator of every scaling and speedup figure, so a pinned or
+    advisor-picked thread count yields (serial, picked) rather than an
+    unanchored single cell.
+    """
+    if config.threads_choice != "auto":
+        picked = int(config.threads_choice)
+    else:
+        choice = _advise(
+            matrix,
+            config,
+            matrix_id=matrix_id,
+            formats=("csr",),
+            kernels=("cached",),
+            threads=SPEEDUP_THREADS,
+        )
+        picked = choice.config.threads
+    if picked == 1:
+        return ((1, "close"),)
+    return ((1, "close"), (picked, "close"))
+
+
+def resolve_formats(
+    matrix, formats: tuple[str, ...], config, matrix_id: int = -1
+) -> tuple[str, ...]:
+    """Apply ``config.format_override`` to one experiment's format list.
+
+    The CSR baseline entry is kept (it is every speedup's denominator);
+    each compressed entry is replaced by the override, or by the
+    advisor's pick when the override is ``"auto"``.  Duplicates after
+    replacement collapse (an advisor that picks plain CSR leaves a
+    CSR-only cell list, which downstream code already handles).
+    """
+    if not config.format_override:
+        return formats
+    if config.format_override == "auto":
+        from repro.perf.advisor.model import ADVISOR_FORMATS
+
+        replacement = _advise(
+            matrix,
+            config,
+            matrix_id=matrix_id,
+            formats=ADVISOR_FORMATS,
+            kernels=("cached",),
+            threads=(1,),
+        ).config.format_name
+    else:
+        replacement = config.format_override
+    out: list[str] = []
+    for fmt in formats:
+        resolved = fmt if fmt == "csr" else replacement
+        if resolved not in out:
+            out.append(resolved)
+    return tuple(out)
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """Shared knobs for an experiment run.
@@ -68,8 +163,9 @@ class ExperimentConfig:
     clock: str = "model"
     real_calls: int = 16
     #: Kernel tier timed by the real clock (``"cached"``, ``"batched"``,
-    #: ``"vectorized"``, ``"reference"``); the model clock predicts from
-    #: memory traffic and ignores it.
+    #: ``"vectorized"``, ``"reference"``, or ``"auto"`` -- the
+    #: configuration advisor picks per (matrix, format)); the model
+    #: clock predicts from memory traffic and ignores it.
     kernel: str = "cached"
     #: Encode pipeline for the CSR-DU conversions (``"batched"`` -- the
     #: vectorized one-pass encoder -- or ``"reference"``, the per-unit
@@ -85,6 +181,17 @@ class ExperimentConfig:
     #: Shard storage for those cells: ``"mem"`` or ``"mmap"``
     #: (out-of-core shard files in a temporary directory).
     storage: str = "mem"
+    #: CLI ``--format`` override: replaces every *compressed* format an
+    #: experiment requests (the CSR baseline always stays).  ``"auto"``
+    #: asks the configuration advisor per matrix; an explicit name
+    #: applies uniformly.  ``None`` (default) leaves each experiment's
+    #: own formats untouched.
+    format_override: str | None = None
+    #: CLI ``--threads`` override: replaces an experiment's thread
+    #: configurations with a single ``(N, "close")`` entry.  ``"auto"``
+    #: asks the advisor per matrix (GIL/CPU-aware under the real
+    #: clock); a numeric string pins the count.  ``None`` disables.
+    threads_choice: str | None = None
     #: Checkpoint JSONL path for :func:`run_set` (``None`` disables).
     #: Finished (matrix, format) cells are appended as they complete;
     #: a rerun pointing at the same path restores them and skips the
@@ -154,6 +261,8 @@ def run_format_matrix(
     so repeated cells over one matrix encode once; the setup wall time
     actually paid lands in each attribution's ``setup_s``.
     """
+    if config.threads_choice:
+        configs = resolve_thread_configs(matrix, config, matrix_id)
     # Live observability: one histogram sample per finished cell, so a
     # scraper watching a long sweep sees throughput and tail cells.
     runtime = obs.get_runtime()
@@ -177,6 +286,9 @@ def run_format_matrix(
         if plannable and (config.clock == "real" or telemetry.enabled()):
             get_plan(converted)
         setup_s = time.perf_counter() - setup_t0
+        kernel_tier = config.kernel
+        if config.kernel == "auto" and config.clock == "real":
+            kernel_tier = resolve_kernel(matrix, format_name, config, matrix_id)
         machine = config.scaled_machine()
         if csr_storage is None:
             csr_storage = convert(matrix, "csr").storage()
@@ -210,7 +322,7 @@ def run_format_matrix(
                 if threads == 1 and config.backend == "thread":
                     from repro.kernels.registry import get_kernel
 
-                    kernel = get_kernel(format_name, config.kernel)
+                    kernel = get_kernel(format_name, kernel_tier)
                     kernel(converted, x)  # warm caches / decode caches
                     with telemetry.span(
                         "bench.measure", matrix_id=matrix_id, format=format_name
@@ -343,9 +455,19 @@ def run_set(
     for mid in ids:
         with telemetry.span("bench.matrix", matrix_id=mid):
             per_fmt: dict[str, MatrixResult] = {}
-            missing = [f for f in formats if (mid, f) not in done]
-            if missing:
+            matrix = None
+            formats_m = formats
+            if config.format_override:
+                # The override (and in particular "auto") can resolve
+                # differently per matrix, so the matrix is realized
+                # before the checkpoint-skip decision; checkpointed
+                # cells still skip their measurement work.
                 matrix = realize(mid, scale=config.scale)
+                formats_m = resolve_formats(matrix, formats, config, mid)
+            missing = [f for f in formats_m if (mid, f) not in done]
+            if missing:
+                if matrix is None:
+                    matrix = realize(mid, scale=config.scale)
                 # One conversion cache per matrix: cells that re-present
                 # the same (format, kwargs) reuse the encode, and the
                 # cache dies with the matrix (full-scale matrices must
@@ -356,14 +478,14 @@ def run_set(
                 # encode it exactly once.
                 csr_storage = cached_convert(matrix, "csr", cache=cache).storage()
                 if telemetry.enabled() and not any(
-                    f.startswith("csr-du") for f in formats
+                    f.startswith("csr-du") for f in formats_m
                 ):
                     # Tracing asks "what structure does this matrix
                     # have?" even for CSR-only experiments, so record
                     # the CSR-DU unit census (the encode emits the
                     # width histogram).
                     convert(matrix, "csr-du", encoder=config.encoder)
-            for fmt in formats:
+            for fmt in formats_m:
                 restored = done.get((mid, fmt))
                 if restored is not None:
                     per_fmt[fmt] = restored

@@ -125,19 +125,26 @@ def format_fig_series(result: FigResult, *, max_rows: int | None = None) -> str:
         f"{fig}: per-matrix {result.format_name} speedup vs serial CSR "
         f"(bars) and CSR multithreaded speedup (squares)"
     ]
+    # A --threads override trims the sweep; render the counts that ran.
+    threads_ran = (
+        tuple(sorted(result.series[0].compressed_speedups))
+        if result.series
+        else (1, 2, 4, 8)
+    )
+    multi = tuple(t for t in threads_ran if t != 1)
     lines.append(
         f"{'matrix':<24} {'redu%':>6} | "
-        + " ".join(f"{'t=' + str(t):>7}" for t in (1, 2, 4, 8))
+        + " ".join(f"{'t=' + str(t):>7}" for t in threads_ran)
         + " | "
-        + " ".join(f"{'csr' + str(t):>7}" for t in (2, 4, 8))
+        + " ".join(f"{'csr' + str(t):>7}" for t in multi)
     )
     lines.append("-" * 92)
     series = result.series[:max_rows] if max_rows else result.series
     for s in series:
         lines.append(
             f"{s.name:<24} {100 * s.size_reduction:6.1f} | "
-            + " ".join(f"{s.compressed_speedups[t]:7.2f}" for t in (1, 2, 4, 8))
+            + " ".join(f"{s.compressed_speedups[t]:7.2f}" for t in threads_ran)
             + " | "
-            + " ".join(f"{s.csr_speedups[t]:7.2f}" for t in (2, 4, 8))
+            + " ".join(f"{s.csr_speedups[t]:7.2f}" for t in multi)
         )
     return "\n".join(lines)

@@ -22,6 +22,15 @@ Both classes share the calling convention (``executor(x, out=)``),
 the fault contract (:class:`~repro.errors.ExecutionError` aggregation,
 cache-invalidating retry, ``chunk_timeout``), and ``close()`` /
 context-manager lifetime, so callers treat the return value uniformly.
+
+``nworkers`` may be omitted (or given as ``"auto"``): the default is
+the host's logical CPU count -- requesting more workers than cores
+only adds dispatch overhead, so defaults are capped there; an
+*explicit* integer is always honored (oversubscription stays testable).
+``format_name="auto"`` asks the configuration advisor
+(:mod:`repro.perf.advisor`) to pick the compression format for this
+matrix; the resolved executor is bit-identical to one built with the
+same format spelled explicitly.
 They also share the observability contract: with telemetry or obs
 enabled, both emit ``parallel.chunk`` spans and ``spmv.chunk.seconds``
 histograms -- the process executor records them *inside* its workers
@@ -31,19 +40,36 @@ look the same whichever backend ran.
 
 from __future__ import annotations
 
+import os
+
 from repro.errors import PartitionError
 from repro.parallel.executor import ParallelSpMV
 from repro.parallel.process_executor import ProcessParallelSpMV
 
-__all__ = ["BACKENDS", "STORAGES", "make_executor"]
+__all__ = ["BACKENDS", "STORAGES", "default_workers", "make_executor"]
 
 BACKENDS = ("thread", "process")
 STORAGES = ("mem", "mmap")
 
 
+def default_workers(nworkers=None) -> int:
+    """Resolve a worker-count request; defaults cap at the CPU count.
+
+    ``None`` and ``"auto"`` become ``os.cpu_count()`` (at least 1) --
+    on the single-CPU benchmark container that is 1, which is also
+    what the advisor's GIL/IPC-aware prediction resolves to.  An
+    explicit integer passes through untouched so oversubscription
+    remains expressible (tests exercise 4 workers on 1 CPU on
+    purpose).
+    """
+    if nworkers is None or nworkers == "auto":
+        return max(1, os.cpu_count() or 1)
+    return int(nworkers)
+
+
 def make_executor(
     matrix,
-    nworkers: int,
+    nworkers=None,
     *,
     backend: str = "thread",
     storage: str = "mem",
@@ -56,7 +82,9 @@ def make_executor(
     """Build the executor for (*backend*, *storage*); see the table above.
 
     ``directory`` is required when ``storage="mmap"`` (where the shard
-    files go); it is ignored for ``storage="mem"``.
+    files go); it is ignored for ``storage="mem"``.  ``nworkers``
+    defaults to the host CPU count (see :func:`default_workers`);
+    ``format_name="auto"`` resolves through the advisor.
     """
     if backend not in BACKENDS:
         raise PartitionError(
@@ -65,6 +93,15 @@ def make_executor(
     if storage not in STORAGES:
         raise PartitionError(
             f"unknown storage {storage!r}; choose from {STORAGES}"
+        )
+    nworkers = default_workers(nworkers)
+    if format_name == "auto":
+        # Imported lazily: the advisor sits above the format/kernel
+        # layers this package belongs to.
+        from repro.perf.advisor import advise_format
+
+        format_name = advise_format(
+            matrix, threads=nworkers, backend=backend
         )
     if backend == "thread":
         return ParallelSpMV(

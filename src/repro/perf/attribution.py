@@ -187,7 +187,18 @@ def attribute_cell(
 
 
 def record(att: Attribution) -> None:
-    """Emit *att* as a ``perf.attribution`` telemetry event (if tracing)."""
+    """Emit *att* as a ``perf.attribution`` telemetry event (if tracing).
+
+    The event additionally carries the host fingerprint (cpus,
+    platform, advisor-calibration id) so wall-clock records are
+    self-describing about where they were measured; the frozen
+    :class:`Attribution` itself stays host-free (it round-trips
+    through checkpoints whose byte-identity must not depend on the
+    machine reading them back).
+    """
+    from repro.util.hostinfo import host_fingerprint
+
+    host = host_fingerprint()
     record_attribution(
         matrix_id=att.matrix_id,
         format_name=att.format_name,
@@ -212,6 +223,9 @@ def record(att: Attribution) -> None:
         plan_hits=att.plan_hits,
         plan_misses=att.plan_misses,
         setup_s=att.setup_s,
+        host_cpus=host["cpus"],
+        host_platform=host["platform"],
+        host_calibration=host["calibration_id"] or "",
     )
 
 

@@ -172,10 +172,22 @@ class ShardStore:
         overrides the default nnz-balanced split with explicit row
         cuts -- the process executor passes its partition here so
         shards and worker chunks coincide.
+
+        ``format_name="auto"`` asks the configuration advisor
+        (:mod:`repro.perf.advisor`) to pick one format for the whole
+        store from the matrix's structural features.  One format per
+        store, not per shard: the manifest, fingerprints and streamed
+        checkpoints all assume shard homogeneity, and a per-shard mix
+        would break resume byte-identity for no modeled benefit.
         """
         if nshards < 1:
             raise StorageError(f"nshards must be >= 1, got {nshards}")
         csr = to_csr(matrix)
+        if format_name == "auto":
+            # Lazy import: the advisor sits above the storage layer.
+            from repro.perf.advisor import advise_format
+
+            format_name = advise_format(csr, threads=nshards)
         nrows, ncols = csr.shape
         if boundaries is None:
             # Imported here, not at module level: repro.parallel's

@@ -12,6 +12,13 @@ The progress record carries a fingerprint (store identity + ``x``
 CRC32); :func:`streamed_spmv` refuses to resume a checkpoint written
 for a different matrix or input vector -- silently mixing partial
 results would be bit-exact garbage.
+
+Shard-format selection lives in :meth:`repro.storage.shard.ShardStore.
+build`, which accepts ``format_name="auto"`` (the configuration
+advisor picks one format for the whole store); a stream over an
+auto-built store is bit-identical to one over the same format chosen
+explicitly, because by the time the stream runs the store *is* that
+explicit format.
 """
 
 from __future__ import annotations

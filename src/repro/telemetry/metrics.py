@@ -90,7 +90,17 @@ name                           kind     meaning / labels
                                         labels ``format``, ``threads``,
                                         ``placement``; numeric payload
                                         (bytes_per_iter, effective_gbps,
-                                        roofline_pct, imbalances, ...) in attrs
+                                        roofline_pct, imbalances, ...) plus the
+                                        host fingerprint (``host_cpus``,
+                                        ``host_platform``,
+                                        ``host_calibration``) in attrs
+``advisor.pick``               counter  one advisor decision; label ``format``;
+                                        payload ``matrix_id``, ``kernel``,
+                                        ``threads``, ``backend``,
+                                        ``partition``, ``predicted_s``,
+                                        ``realized_s`` (0 until the pick has
+                                        run), ``source`` (analytic/calibrated/
+                                        history), ``phase`` (advise/realized)
 ``sim.spmv``                   span     machine-model prediction; ``format``,
                                         ``threads``, ``placement``
 ``sim.bound``                  counter  binding constraint tally; ``bound``
@@ -161,6 +171,7 @@ KNOWN_EVENTS = frozenset(
         "kernel.fallback",
         "executor.retry",
         "perf.attribution",
+        "advisor.pick",
         "sim.spmv",
         "sim.bound",
         "sim.dram_bytes",
@@ -272,6 +283,9 @@ def record_attribution(
     plan_hits: int,
     plan_misses: int,
     setup_s: float = 0.0,
+    host_cpus: int = 0,
+    host_platform: str = "",
+    host_calibration: str = "",
 ) -> None:
     """One performance-attribution record for a measured bench cell.
 
@@ -307,10 +321,57 @@ def record_attribution(
             "plan_hits": int(plan_hits),
             "plan_misses": int(plan_misses),
             "setup_s": float(setup_s),
+            # Host fingerprint: wall-clock cells from a 1-CPU container
+            # and an 8-core workstation must be distinguishable in the
+            # trace itself, not by out-of-band prose.
+            "host_cpus": int(host_cpus),
+            "host_platform": str(host_platform),
+            "host_calibration": str(host_calibration),
         },
         format=format_name,
         threads=threads,
         placement=placement,
+    )
+
+
+def record_advisor_pick(
+    *,
+    matrix_id: int,
+    format_name: str,
+    kernel: str,
+    threads: int,
+    backend: str,
+    partition: str,
+    predicted_s: float,
+    realized_s: float,
+    source: str,
+    phase: str,
+) -> None:
+    """One advisor decision (or its realized-seconds follow-up).
+
+    ``phase="advise"`` events carry the prediction (``realized_s`` 0);
+    a caller that runs the pick reports back with ``phase="realized"``
+    and the measured seconds, letting trace consumers compute the
+    advisor's prediction error per matrix.
+    """
+    c = core.get_collector()
+    if c is None:
+        return
+    c.count(
+        "advisor.pick",
+        1,
+        extra={
+            "matrix_id": int(matrix_id),
+            "kernel": str(kernel),
+            "threads": int(threads),
+            "backend": str(backend),
+            "partition": str(partition),
+            "predicted_s": float(predicted_s),
+            "realized_s": float(realized_s),
+            "source": str(source),
+            "phase": str(phase),
+        },
+        format=format_name,
     )
 
 

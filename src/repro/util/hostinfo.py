@@ -1,0 +1,66 @@
+"""Host fingerprint: make results self-describing about where they ran.
+
+Benchmarks on this project run wherever CI or a developer happens to
+be -- often a single-CPU container whose numbers mean something very
+different from an 8-core workstation's.  Instead of prose caveats
+("judge the backend columns against host.cpus"), every artifact that
+records wall-clock numbers embeds the same small fingerprint: logical
+CPU count, platform string, Python version, and the id of the advisor
+calibration in effect (if any).  ``BENCH_advisor.json`` carries it at
+top level and ``perf.attribution`` telemetry events carry it per
+record, so a dashboard or gate reading either can tell two hosts'
+numbers apart without out-of-band context.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+
+#: Default on-disk location of the advisor calibration (repo root when
+#: running from a checkout; see ``tools/calibrate.py --advisor-out``).
+#: Overridable via the ``REPRO_ADVISOR_CALIBRATION`` environment
+#: variable, which both this module and the advisor's loader honor.
+CALIBRATION_ENV = "REPRO_ADVISOR_CALIBRATION"
+DEFAULT_CALIBRATION_FILE = "advisor_calibration.json"
+
+
+def calibration_path(path: str | None = None) -> str:
+    """The calibration file to use: explicit arg > env var > default."""
+    if path:
+        return path
+    return os.environ.get(CALIBRATION_ENV, DEFAULT_CALIBRATION_FILE)
+
+
+def calibration_id_at(path: str | None = None) -> str | None:
+    """The ``id`` stamped in the calibration file, or None if absent.
+
+    Never raises: a missing, unreadable, or malformed file simply means
+    "no calibration in effect" (the advisor falls back to its analytic
+    prior the same way).
+    """
+    try:
+        with open(calibration_path(path), "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    cal_id = data.get("id") if isinstance(data, dict) else None
+    return str(cal_id) if cal_id else None
+
+
+def host_fingerprint(calibration_id: str | None = None) -> dict:
+    """The fingerprint dict recorded alongside wall-clock results.
+
+    ``calibration_id`` defaults to whatever calibration file is in
+    effect (see :func:`calibration_path`); pass an id explicitly when
+    the caller already holds a loaded calibration.
+    """
+    if calibration_id is None:
+        calibration_id = calibration_id_at()
+    return {
+        "cpus": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "calibration_id": calibration_id,
+    }

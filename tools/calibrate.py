@@ -8,7 +8,17 @@ aggregate cells.  The winning constants are frozen into
 ``repro.machine.topology.clovertown_8core`` and
 ``repro.machine.costmodel.CostModel`` (DESIGN.md section 6).
 
+``--advisor-out PATH`` is a separate, much cheaper mode: instead of
+fitting the paper's machine model it measures *this* host -- ns/nnz per
+(format, kernel tier), per-call overhead, per-worker dispatch costs --
+and writes the JSON calibration the configuration advisor
+(:mod:`repro.perf.advisor`) uses for real-clock predictions.  Point
+``REPRO_ADVISOR_CALIBRATION`` at the file (or write it to the default
+``advisor_calibration.json``) and ``--format auto`` picks from
+measured throughput instead of the analytic fallback.
+
 Run:  python tools/calibrate.py [--evals 400] [--scale 0.0625] [--limit 10]
+      python tools/calibrate.py --advisor-out advisor_calibration.json
 """
 
 from __future__ import annotations
@@ -203,7 +213,34 @@ def main():
     ap.add_argument("--scale", type=float, default=0.0625)
     ap.add_argument("--limit", type=int, default=10)
     ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument(
+        "--advisor-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="measure this host and write the advisor calibration JSON "
+        "instead of running the machine-model search",
+    )
     args = ap.parse_args()
+
+    if args.advisor_out:
+        from repro.perf.advisor import measure_calibration
+        from repro.perf.advisor.model import save_calibration
+
+        t0 = time.time()
+        cal = measure_calibration()
+        save_calibration(cal, args.advisor_out)
+        print(
+            f"advisor calibration {cal.calibration_id} "
+            f"({time.time() - t0:.1f}s) -> {args.advisor_out}"
+        )
+        for key in sorted(cal.ns_per_nnz):
+            print(f"  {key:<22} {cal.ns_per_nnz[key]:10.2f} ns/nnz")
+        print(f"  per_call               {cal.per_call_s * 1e6:10.2f} us")
+        print(
+            f"  thread dispatch/worker {cal.thread_call_overhead_s * 1e6:10.2f} us"
+        )
+        return
 
     t0 = time.time()
     cache, sets = precompute(args.scale, args.limit)

@@ -14,7 +14,8 @@ and checks that
 Further self-contained checks run under scoped collectors/runtimes:
 the ``parallel.chunk`` spans of a small multithreaded SpMV (the bench
 trace above uses the model clock, which never spins up the executor),
-the fault/observability paths, the backend-labelled
+the fault/observability paths, the ``advisor.pick`` advise/realized
+pair the configuration advisor emits, the backend-labelled
 ``spmv.chunk.seconds`` histograms of a thread-vs-process pair, and the
 cross-process merge (worker spans, shard-merged histograms, per-worker
 chrome tracks via ``--chrome-out``).
@@ -87,6 +88,20 @@ REQUIRED_PAYLOADS: dict[str, frozenset] = {
     "executor.retry": frozenset({"format", "thread", "lo", "hi", "error"}),
     "obs.alert": frozenset({"rule", "expr", "metric", "value", "threshold"}),
     "obs.snapshot": frozenset({"histograms", "counters", "gauges", "alerts"}),
+    "advisor.pick": frozenset(
+        {
+            "matrix_id",
+            "format",
+            "kernel",
+            "threads",
+            "backend",
+            "partition",
+            "predicted_s",
+            "realized_s",
+            "source",
+            "phase",
+        }
+    ),
 }
 
 
@@ -695,6 +710,84 @@ def check_xproc(
     return 0
 
 
+def check_advisor_events() -> int:
+    """Advise + report a realized time; validate the advisor.pick pair.
+
+    Under a scoped collector: one :func:`repro.perf.advisor.advise`
+    call on a tiny matrix must emit a schema-valid ``advisor.pick``
+    event with ``phase="advise"``, and
+    :func:`~repro.perf.advisor.record_realized` must emit the matching
+    ``phase="realized"`` half carrying the measured wall clock for the
+    same configuration.
+    """
+    from repro import telemetry
+    from repro.formats.csr import CSRMatrix
+    from repro.matrices.generators import dense_band
+    from repro.perf.advisor import advise, record_realized
+
+    csr = CSRMatrix.from_coo(dense_band(64, 2))
+    prev = telemetry.set_collector(telemetry.Collector())
+    try:
+        choice = advise(csr, matrix_id=0, calibration=None)
+        record_realized(choice, 1.25e-5)
+        events = [
+            dataclasses.asdict(ev)
+            for ev in telemetry.get_collector().snapshot()
+        ]
+    finally:
+        telemetry.set_collector(prev)
+    for i, event in enumerate(events):
+        try:
+            validate_event(event)
+        except TelemetryError as exc:
+            print(
+                f"smoke_trace: advisor event {i} invalid: {exc}: {event!r}",
+                file=sys.stderr,
+            )
+            return 1
+    unknown = {e["name"] for e in events} - KNOWN_EVENTS
+    if unknown:
+        print(
+            f"smoke_trace: undocumented advisor event names {sorted(unknown)}",
+            file=sys.stderr,
+        )
+        return 1
+    if _check_payloads(events):
+        return 1
+    picks = [e for e in events if e["name"] == "advisor.pick"]
+    phases = [e["attrs"].get("phase") for e in picks]
+    if phases != ["advise", "realized"]:
+        print(
+            f"smoke_trace: expected advisor.pick phases "
+            f"['advise', 'realized'], got {phases}",
+            file=sys.stderr,
+        )
+        return 1
+    advised, realized = picks
+    pick_keys = ("format", "kernel", "threads", "backend", "partition")
+    if any(
+        advised["attrs"][k] != realized["attrs"][k] for k in pick_keys
+    ):
+        print(
+            "smoke_trace: realized advisor.pick names a different config "
+            "than the advise half",
+            file=sys.stderr,
+        )
+        return 1
+    if realized["attrs"]["realized_s"] != 1.25e-5:
+        print(
+            "smoke_trace: realized_s did not round-trip through the event",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"smoke_trace: advisor check OK (picked "
+        f"{advised['attrs']['format']}|{advised['attrs']['kernel']}, "
+        f"source {advised['attrs']['source']})"
+    )
+    return 0
+
+
 def run(
     *,
     scale: float = 0.03125,
@@ -787,6 +880,9 @@ def run(
         if rc:
             return rc
         rc = check_obs()
+        if rc:
+            return rc
+        rc = check_advisor_events()
         if rc:
             return rc
         rc = check_backend_labels()
