@@ -207,6 +207,27 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per real-clock executor cell; flows "
+            "into shard builds and per-chunk waits, and expiry raises "
+            "a typed DeadlineExceeded instead of hanging the sweep"
+        ),
+    )
+    parser.add_argument(
+        "--degrade",
+        action="store_true",
+        help=(
+            "wrap real-clock executors in the resilience degradation "
+            "ladder (backend process -> thread -> serial, storage "
+            "mmap -> mem) so repeated typed failures fall back to a "
+            "slower-but-correct rung instead of failing the cell"
+        ),
+    )
+    parser.add_argument(
         "--resume",
         type=str,
         default=None,
@@ -359,6 +380,8 @@ def main(argv: list[str] | None = None) -> int:
         format_override=args.format_name,
         threads_choice=args.threads,
         checkpoint_path=args.resume,
+        deadline_s=args.deadline,
+        degrade=args.degrade,
     )
     trace_on = profile or html_report or args.trace or args.chrome_trace
     obs_on = bool(

@@ -199,6 +199,18 @@ class ExperimentConfig:
     #: (see :mod:`repro.bench.checkpoint`).  The CLI's ``--resume``
     #: flag sets this.
     checkpoint_path: str | None = None
+    #: Wall-clock budget in seconds for each real-clock executor cell
+    #: (CLI ``--deadline``).  Materialized as one
+    #: :class:`~repro.resilience.policy.Deadline` per cell that flows
+    #: through ``make_executor`` into shard builds and per-chunk waits;
+    #: expiry surfaces as a typed ``DeadlineExceeded`` rather than a
+    #: hung sweep.  ``None`` (default) disables.
+    deadline_s: float | None = None
+    #: Wrap real-clock executors in the resilience degradation ladder
+    #: (CLI ``--degrade``): backend falls process -> thread -> serial
+    #: and storage mmap -> mem on repeated typed failures, with every
+    #: transition emitted as ``resilience.degrade`` telemetry.
+    degrade: bool = False
 
     def scaled_machine(self) -> MachineSpec:
         return self.machine if self.scale == 1.0 else self.machine.scaled(self.scale)
@@ -348,6 +360,11 @@ def run_format_matrix(
                         if config.storage == "mmap"
                         else None
                     )
+                    deadline = None
+                    if config.deadline_s is not None:
+                        from repro.resilience.policy import Deadline
+
+                        deadline = Deadline.after(config.deadline_s)
                     executor = make_executor(
                         matrix,
                         threads,
@@ -356,6 +373,8 @@ def run_format_matrix(
                         format_name=format_name,
                         directory=tmp.name if tmp is not None else None,
                         convert_cache=convert_cache,
+                        deadline=deadline,
+                        degrade=config.degrade,
                         **format_kwargs,
                     )
                     try:

@@ -107,6 +107,52 @@ class ExecutionError(ReproError):
         self.failures = tuple(failures)
 
 
+class DeadlineExceeded(ExecutionError):
+    """A wall-clock :class:`~repro.resilience.policy.Deadline` ran out.
+
+    Subclasses :class:`ExecutionError` so existing executor callers
+    that catch the execution family see the expiry without new except
+    clauses; the degradation ladder deliberately does *not* absorb it
+    (a spent time budget cannot be bought back by a slower backend).
+
+    Attributes
+    ----------
+    label:
+        Where the budget ran out (``"parallel.call"``,
+        ``"stream.shard"``, ...), or ``""``.
+    budget_s:
+        The total wall-clock budget the deadline started with.
+    """
+
+    def __init__(self, message: str, *, label: str = "", budget_s: float = 0.0):
+        super().__init__(message)
+        self.label = label
+        self.budget_s = float(budget_s)
+
+
+class BreakerOpenError(ReproError):
+    """A circuit breaker is open: the guarded operation was not attempted.
+
+    Raised (or aggregated as a :class:`~repro.parallel.executor.
+    ChunkFailure` error) when a per-shard or per-backend breaker has
+    seen too many consecutive failures and is shedding load instead of
+    burning rebuild cycles.  Carries when a retry becomes worthwhile.
+
+    Attributes
+    ----------
+    key:
+        The breaker's identity (e.g. ``"shard:1:g0"`` or
+        ``"backend:process:mem"``).
+    retry_after_s:
+        Seconds until the breaker's cooldown admits a half-open probe.
+    """
+
+    def __init__(self, message: str, *, key: str = "", retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.key = key
+        self.retry_after_s = float(retry_after_s)
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to reach its tolerance.
 

@@ -312,7 +312,12 @@ def default_rules() -> list[Rule]:
     Fallbacks and retries are never expected in a healthy run, so any
     nonzero 10-second rate alerts; the chunk-latency tail rule is the
     paper's imbalance question stated as an SLO (a p99 that runs away
-    from the median means some thread's rows decode much slower).
+    from the median means some thread's rows decode much slower).  The
+    resilience rules surface the PR-10 recovery machinery: a breaker
+    opening means some shard or backend failed repeatedly, and any
+    backend degradation (``resilience.degrade.total`` is the obs
+    counter the ladder bumps per transition) means the run finished on
+    a slower rung than the one requested.
     """
     return [
         parse_rule(
@@ -324,6 +329,12 @@ def default_rules() -> list[Rule]:
         parse_rule(
             "p99(spmv.chunk.seconds) > 5 * p50(spmv.chunk.seconds)",
             name="chunk-tail-latency",
+        ),
+        parse_rule(
+            "rate(resilience.breaker.open[10s]) > 0", name="breaker-open"
+        ),
+        parse_rule(
+            "resilience.degrade.total > 0", name="backend-degraded"
         ),
     ]
 

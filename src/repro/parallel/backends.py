@@ -77,6 +77,11 @@ def make_executor(
     directory: str | None = None,
     convert_cache=None,
     chunk_timeout: float | None = None,
+    retry_policy=None,
+    deadline=None,
+    degrade: bool = False,
+    breaker_threshold: int = 3,
+    breaker_cooldown_s: float = 5.0,
     **format_kwargs,
 ):
     """Build the executor for (*backend*, *storage*); see the table above.
@@ -85,6 +90,19 @@ def make_executor(
     files go); it is ignored for ``storage="mem"``.  ``nworkers``
     defaults to the host CPU count (see :func:`default_workers`);
     ``format_name="auto"`` resolves through the advisor.
+
+    Resilience knobs (PR 10): ``retry_policy`` (a
+    :class:`~repro.resilience.policy.RetryPolicy`; default one
+    decode-class retry) and ``deadline`` (a
+    :class:`~repro.resilience.policy.Deadline` whose remaining budget
+    caps every per-chunk wait) flow into whichever executor is built.
+    ``degrade=True`` wraps the configuration in a
+    :class:`~repro.resilience.degrade.ResilientExecutor`: the requested
+    (backend, storage) becomes the top rung of an explicit fallback
+    ladder down to serial in-memory execution, with per-rung circuit
+    breakers configured by ``breaker_threshold`` /
+    ``breaker_cooldown_s`` (the process backend also uses those values
+    for its per-shard-generation breakers).
     """
     if backend not in BACKENDS:
         raise PartitionError(
@@ -103,6 +121,26 @@ def make_executor(
         format_name = advise_format(
             matrix, threads=nworkers, backend=backend
         )
+    if degrade:
+        # Imported lazily: degrade.py calls back into make_executor to
+        # build each rung (with degrade off).
+        from repro.resilience.degrade import ResilientExecutor
+
+        return ResilientExecutor(
+            matrix,
+            nworkers,
+            backend=backend,
+            storage=storage,
+            format_name=format_name,
+            directory=directory,
+            convert_cache=convert_cache,
+            chunk_timeout=chunk_timeout,
+            retry_policy=retry_policy,
+            deadline=deadline,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_s=breaker_cooldown_s,
+            **format_kwargs,
+        )
     if backend == "thread":
         return ParallelSpMV(
             matrix,
@@ -112,6 +150,8 @@ def make_executor(
             chunk_timeout=chunk_timeout,
             storage=storage,
             directory=directory,
+            retry_policy=retry_policy,
+            deadline=deadline,
             **format_kwargs,
         )
     return ProcessParallelSpMV(
@@ -122,5 +162,9 @@ def make_executor(
         directory=directory,
         convert_cache=convert_cache,
         chunk_timeout=chunk_timeout,
+        retry_policy=retry_policy,
+        deadline=deadline,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown_s=breaker_cooldown_s,
         **format_kwargs,
     )

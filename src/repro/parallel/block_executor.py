@@ -7,17 +7,23 @@ at the end.  The paper highlights the scheme's knob -- "configurable
 data sizes for each thread" -- for machines with small local stores
 (the Cell); here the tile grid is the configuration.
 
-Fault contract (ported from the row executor in PR 7): every chunk's
-outcome is collected, failures aggregate into one
-:class:`~repro.errors.ExecutionError` with per-chunk context, and an
-optional ``chunk_timeout=`` bounds the wait per chunk.  No retry tier:
-tiles are materialized slices, not cached encodes.
+Fault contract (unified onto :class:`~repro.resilience.policy.
+RetryPolicy` in PR 10): every chunk's outcome is collected, failures
+aggregate into one :class:`~repro.errors.ExecutionError` with
+per-chunk context, an optional ``chunk_timeout=`` bounds the wait per
+chunk (timed-out chunks are marked ``executor.chunk.abandoned``), and
+an optional ``deadline=`` caps the whole run.  Like the column
+executor, the default policy retries nothing — tiles are materialized
+slices, not cached encodes — and that divergence from the row executor
+is now an explicit :data:`~repro.parallel.column_executor.
+NO_RETRY_POLICY` rather than missing code.  Retries re-run the whole
+tile set of the chunk (the partial ``y`` is zeroed first, so a re-run
+is idempotent).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeoutError
 
 import numpy as np
 
@@ -25,8 +31,15 @@ from repro.errors import ExecutionError, PartitionError
 from repro.formats.base import SparseMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.conversions import to_csr
-from repro.parallel.executor import ChunkFailure, reduce_partial_results
+from repro.parallel.column_executor import NO_RETRY_POLICY
+from repro.parallel.executor import (
+    ChunkFailure,
+    collect_chunk_failures,
+    reduce_partial_results,
+)
 from repro.parallel.partition import BlockPartition, block_partition
+from repro.resilience import chaos
+from repro.resilience.policy import Deadline, RetryPolicy
 from repro.telemetry import core as telemetry
 
 
@@ -67,7 +80,13 @@ class BlockParallelSpMV:
     chunk_timeout:
         Seconds to wait for each chunk per call (``None`` = forever);
         an exceeded chunk is a :class:`TimeoutError` failure inside the
-        aggregated :class:`~repro.errors.ExecutionError`.
+        aggregated :class:`~repro.errors.ExecutionError` and is marked
+        ``executor.chunk.abandoned``.
+    retry_policy:
+        Chunk retry policy; defaults to no retries (see module
+        docstring).
+    deadline:
+        Optional wall-clock budget for the whole run.
     """
 
     def __init__(
@@ -77,6 +96,8 @@ class BlockParallelSpMV:
         *,
         grid: tuple[int, int] | None = None,
         chunk_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        deadline: Deadline | None = None,
     ):
         if nthreads < 1:
             raise PartitionError(f"nthreads must be >= 1, got {nthreads}")
@@ -88,6 +109,12 @@ class BlockParallelSpMV:
         self.nrows, self.ncols = csr.shape
         self.nthreads = nthreads
         self.chunk_timeout = chunk_timeout
+        self.retry_policy = (
+            NO_RETRY_POLICY if retry_policy is None else retry_policy
+        )
+        self.deadline = deadline
+        self._retry_budget = self.retry_policy.new_budget()
+        self._retry_rng = self.retry_policy.new_rng()
         self.partition: BlockPartition = block_partition(
             csr.row_ptr, csr.ncols, nthreads, grid=grid
         )
@@ -110,8 +137,30 @@ class BlockParallelSpMV:
         if x.shape != (self.ncols,):
             raise PartitionError(f"x has shape {x.shape}, expected ({self.ncols},)")
 
+        if self.deadline is not None:
+            self.deadline.check("parallel.call")
+
         def work(t: int) -> ChunkFailure | None:
             nnz = sum(tile.nnz for _, _, tile in self.tiles[t])
+            retried = False
+
+            def on_retry(exc: BaseException, attempt: int) -> None:
+                nonlocal retried
+                retried = True
+
+            def attempt(tiles) -> None:
+                chaos.trip(
+                    "thread.chunk",
+                    thread=t,
+                    lo=0,
+                    hi=len(tiles),
+                    kind="block",
+                )
+                y = self._partials[t]
+                y[:] = 0.0
+                for (r0, _r1), (c0, c1), tile in tiles:
+                    y[r0 : r0 + tile.nrows] += tile.spmv(x[c0:c1])
+
             with telemetry.span(
                 "parallel.chunk",
                 thread=t,
@@ -121,14 +170,18 @@ class BlockParallelSpMV:
                 kind="block",
             ):
                 try:
-                    y = self._partials[t]
-                    y[:] = 0.0
-                    for (r0, _r1), (c0, c1), tile in self.tiles[t]:
-                        y[r0 : r0 + tile.nrows] += tile.spmv(x[c0:c1])
+                    self.retry_policy.run(
+                        attempt,
+                        target=self.tiles[t],
+                        budget=self._retry_budget,
+                        deadline=self.deadline,
+                        rng=self._retry_rng,
+                        on_retry=on_retry,
+                    )
                     return None
                 except Exception as exc:
                     return ChunkFailure(
-                        t, 0, len(self.tiles[t]), exc, retried=False
+                        t, 0, len(self.tiles[t]), exc, retried=retried
                     )
 
         failures: list[ChunkFailure] = []
@@ -141,21 +194,15 @@ class BlockParallelSpMV:
                 futures = [
                     self._pool.submit(work, t) for t in range(self.nthreads)
                 ]
-                for t, future in enumerate(futures):
-                    try:
-                        failure = future.result(timeout=self.chunk_timeout)
-                    except FuturesTimeoutError:
-                        failure = ChunkFailure(
-                            t,
-                            0,
-                            len(self.tiles[t]),
-                            TimeoutError(
-                                f"chunk exceeded {self.chunk_timeout}s"
-                            ),
-                            retried=False,
-                        )
-                    if failure is not None:
-                        failures.append(failure)
+                failures.extend(
+                    collect_chunk_failures(
+                        futures,
+                        lambda t: (0, len(self.tiles[t])),
+                        chunk_timeout=self.chunk_timeout,
+                        deadline=self.deadline,
+                        kind="block",
+                    )
+                )
             if failures:
                 detail = "; ".join(f.describe() for f in failures)
                 raise ExecutionError(

@@ -61,10 +61,16 @@ from repro.formats.conversions import to_csr
 from repro.kernels.plan import PLANNABLE_FORMATS, get_plan
 from repro.obs import core as obs
 from repro.parallel.partition import RowPartition, row_partition
+from repro.resilience import chaos
+from repro.resilience.policy import DEFAULT_RETRY_POLICY, Deadline, RetryPolicy
 from repro.telemetry import core as telemetry
 
 #: Error types that warrant invalidating the chunk's cached encode and
 #: retrying once (decode-time failures of possibly-stale cached data).
+#: Kept as the worker-side classification the process backend pickles
+#: across; the retry *decision* now lives in
+#: :class:`~repro.resilience.policy.RetryPolicy` (``retry_on=
+#: ("decode",)`` maps to exactly this tuple).
 RETRYABLE = (EncodingError, IntegrityError, FormatError)
 
 
@@ -130,6 +136,78 @@ def reduce_partial_results(
     return out
 
 
+def abandon_chunk(
+    t: int,
+    lo: int,
+    hi: int,
+    *,
+    timeout: float | None,
+    kind: str,
+    backend: str = "thread",
+) -> ChunkFailure:
+    """Record one timed-out chunk and build its failure.
+
+    A thread cannot be cancelled, so the worker keeps running and its
+    (eventual) result is discarded — the chunk is *abandoned*.  The
+    ``executor.chunk.abandoned`` counter makes that visible: the SLO
+    engine can rate-alert on it, and imbalance recovery excludes the
+    abandoned span from per-thread timing (its wall time reflects the
+    wait bound, not the work).
+    """
+    telemetry.count(
+        "executor.chunk.abandoned",
+        1,
+        extra={
+            "thread": t,
+            "lo": lo,
+            "hi": hi,
+            "timeout_s": 0.0 if timeout is None else float(timeout),
+        },
+        kind=kind,
+        backend=backend,
+    )
+    obs.mark("executor.chunk.abandoned", 1, kind=kind, backend=backend)
+    return ChunkFailure(
+        t,
+        lo,
+        hi,
+        TimeoutError(f"chunk exceeded {timeout}s"),
+        retried=False,
+    )
+
+
+def collect_chunk_failures(
+    futures,
+    bounds_of,
+    *,
+    chunk_timeout: float | None,
+    deadline: Deadline | None = None,
+    kind: str = "row",
+) -> list[ChunkFailure]:
+    """The shared result loop of the three thread executors.
+
+    Waits on every chunk future; a wait that exceeds the per-chunk
+    timeout (capped by the run *deadline* when one is set) becomes an
+    abandoned-chunk failure via :func:`abandon_chunk`.  *bounds_of(t)*
+    supplies the (lo, hi) context for thread *t*'s failure records.
+    """
+    failures: list[ChunkFailure] = []
+    for t, future in enumerate(futures):
+        lo, hi = bounds_of(t)
+        timeout = (
+            chunk_timeout if deadline is None else deadline.cap(chunk_timeout)
+        )
+        try:
+            failure = future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            failure = abandon_chunk(
+                t, lo, hi, timeout=timeout, kind=kind
+            )
+        if failure is not None:
+            failures.append(failure)
+    return failures
+
+
 class ParallelSpMV:
     """Row-partitioned multithreaded SpMV over any registered format.
 
@@ -165,6 +243,17 @@ class ParallelSpMV:
         mode).
     directory:
         Shard-file directory, required for ``storage="mmap"``.
+    retry_policy:
+        :class:`~repro.resilience.policy.RetryPolicy` governing chunk
+        retries.  The default is one immediate cache-invalidating
+        retry of decode-class failures — exactly the hardcoded PR-5
+        behavior, now declarative.  One retry budget is shared by all
+        chunks across all calls of this executor.
+    deadline:
+        Optional :class:`~repro.resilience.policy.Deadline`: one
+        wall-clock budget for this executor's whole run.  Caps every
+        per-chunk wait at the time remaining and fails calls with a
+        typed :class:`~repro.errors.DeadlineExceeded` once spent.
     """
 
     backend = "thread"
@@ -179,6 +268,8 @@ class ParallelSpMV:
         chunk_timeout: float | None = None,
         storage: str = "mem",
         directory: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        deadline: Deadline | None = None,
         **format_kwargs,
     ):
         if nthreads < 1:
@@ -196,6 +287,12 @@ class ParallelSpMV:
         self.nrows, self.ncols = csr.shape
         self.nthreads = nthreads
         self.chunk_timeout = chunk_timeout
+        self.retry_policy = (
+            DEFAULT_RETRY_POLICY if retry_policy is None else retry_policy
+        )
+        self.deadline = deadline
+        self._retry_budget = self.retry_policy.new_budget()
+        self._retry_rng = self.retry_policy.new_rng()
         # Kept for chunk rebuilds on retry (see _rebuild_chunk).
         self._csr = csr
         self._format_name = format_name
@@ -214,6 +311,7 @@ class ParallelSpMV:
                 directory=directory,
                 convert_cache=self._cache,
                 boundaries=self.partition.boundaries.tolist(),
+                deadline=deadline,
                 **format_kwargs,
             )
         self.chunks: list[SparseMatrix] = [
@@ -277,6 +375,9 @@ class ParallelSpMV:
             check_out_aliasing(out, x)
         y = out if out is not None else np.empty(self.nrows, dtype=np.float64)
 
+        if self.deadline is not None:
+            self.deadline.check("parallel.call")
+
         def work(t: int) -> ChunkFailure | None:
             lo, hi = self.partition.rows_of(t)
             # Live observability: one histogram sample per chunk (the
@@ -284,6 +385,28 @@ class ParallelSpMV:
             # single attribute check, same contract as telemetry.
             runtime = obs.get_runtime()
             t0 = time.perf_counter() if runtime is not None else 0.0
+            retried = False
+
+            def on_retry(exc: BaseException, attempt: int) -> None:
+                nonlocal retried
+                retried = True
+                telemetry.count(
+                    "executor.retry",
+                    1,
+                    extra={
+                        "thread": t,
+                        "lo": lo,
+                        "hi": hi,
+                        "error": type(exc).__name__,
+                    },
+                    format=self._format_name,
+                )
+                obs.mark("executor.retry", 1, format=self._format_name)
+
+            def attempt(chunk) -> None:
+                chaos.trip("thread.chunk", thread=t, lo=lo, hi=hi, kind="row")
+                chunk.spmv(x, out=y[lo:hi])
+
             with telemetry.span(
                 "parallel.chunk",
                 thread=t,
@@ -293,7 +416,15 @@ class ParallelSpMV:
                 kind="row",
             ):
                 try:
-                    self.chunks[t].spmv(x, out=y[lo:hi])
+                    self.retry_policy.run(
+                        attempt,
+                        target=self.chunks[t],
+                        rebuild=lambda: self._rebuild_chunk(t),
+                        budget=self._retry_budget,
+                        deadline=self.deadline,
+                        rng=self._retry_rng,
+                        on_retry=on_retry,
+                    )
                     if runtime is not None:
                         runtime.observe(
                             "spmv.chunk.seconds",
@@ -302,33 +433,8 @@ class ParallelSpMV:
                             backend=self.backend,
                         )
                     return None
-                except RETRYABLE as exc:
-                    telemetry.count(
-                        "executor.retry",
-                        1,
-                        extra={
-                            "thread": t,
-                            "lo": lo,
-                            "hi": hi,
-                            "error": type(exc).__name__,
-                        },
-                        format=self._format_name,
-                    )
-                    obs.mark("executor.retry", 1, format=self._format_name)
-                    try:
-                        self._rebuild_chunk(t).spmv(x, out=y[lo:hi])
-                        if runtime is not None:
-                            runtime.observe(
-                                "spmv.chunk.seconds",
-                                time.perf_counter() - t0,
-                                format=self._format_name,
-                                backend=self.backend,
-                            )
-                        return None
-                    except Exception as exc2:
-                        return ChunkFailure(t, lo, hi, exc2, retried=True)
                 except Exception as exc:
-                    return ChunkFailure(t, lo, hi, exc, retried=False)
+                    return ChunkFailure(t, lo, hi, exc, retried=retried)
 
         failures: list[ChunkFailure] = []
         runtime = obs.get_runtime()
@@ -342,22 +448,15 @@ class ParallelSpMV:
                 futures = [
                     self._pool.submit(work, t) for t in range(self.nthreads)
                 ]
-                for t, future in enumerate(futures):
-                    lo, hi = self.partition.rows_of(t)
-                    try:
-                        failure = future.result(timeout=self.chunk_timeout)
-                    except FuturesTimeoutError:
-                        failure = ChunkFailure(
-                            t,
-                            lo,
-                            hi,
-                            TimeoutError(
-                                f"chunk exceeded {self.chunk_timeout}s"
-                            ),
-                            retried=False,
-                        )
-                    if failure is not None:
-                        failures.append(failure)
+                failures.extend(
+                    collect_chunk_failures(
+                        futures,
+                        self.partition.rows_of,
+                        chunk_timeout=self.chunk_timeout,
+                        deadline=self.deadline,
+                        kind="row",
+                    )
+                )
         if runtime is not None:
             runtime.observe(
                 "spmv.call.seconds",

@@ -50,13 +50,22 @@ import numpy as np
 
 import repro.errors as _errors
 from repro.compress.encode_cache import ConvertCache
-from repro.errors import ExecutionError, FormatError, PartitionError, StorageError
+from repro.errors import (
+    BreakerOpenError,
+    ExecutionError,
+    FormatError,
+    PartitionError,
+    StorageError,
+)
 from repro.formats.base import SparseMatrix, check_out_aliasing
 from repro.formats.conversions import to_csr
 from repro.obs import core as obs
 from repro.obs import xproc
-from repro.parallel.executor import RETRYABLE, ChunkFailure
+from repro.parallel.executor import RETRYABLE, ChunkFailure, abandon_chunk
 from repro.parallel.partition import RowPartition, row_partition
+from repro.resilience import chaos
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.policy import DEFAULT_RETRY_POLICY, Deadline, RetryPolicy
 from repro.storage.provider import _attach_shm, _disarm_segment
 from repro.storage.shard import ShardStore, attach_shard
 from repro.telemetry import core as telemetry
@@ -178,6 +187,16 @@ def _worker_spmv(
                 pid=os.getpid(),
                 run_id=wt.ctx.run_id if wt else "",
             ):
+                # Chaos seam (tools/smoke_chaos.py): faults armed in the
+                # parent before the pool forked fire here -- a SIGKILL
+                # lands mid-chunk, a sleep makes this worker the
+                # straggler.  Empty registry = one truthiness check.
+                chaos.trip(
+                    "worker.chunk",
+                    index=spec["index"],
+                    generation=spec["generation"],
+                    pid=os.getpid(),
+                )
                 x = _attach_vector(x_name, ncols)
                 y = _attach_vector(y_name, nrows)
                 with telemetry.span(
@@ -289,6 +308,20 @@ class ProcessParallelSpMV:
         available, else the platform default): fork makes worker
         startup cheap and is safe here because workers only attach
         buffers and run NumPy kernels.
+    retry_policy:
+        :class:`~repro.resilience.policy.RetryPolicy` governing the
+        rebuild-and-resubmit retry (default: one retry of decode-class
+        failures, shared budget across the run).
+    deadline:
+        Optional :class:`~repro.resilience.policy.Deadline` capping
+        every per-chunk wait at the run's remaining wall-clock budget.
+    breaker_threshold, breaker_cooldown_s:
+        Per-(shard, generation) circuit-breaker configuration: after
+        *breaker_threshold* consecutive failures against one shard
+        generation, further rebuild attempts are refused (a typed
+        :class:`~repro.errors.BreakerOpenError` failure) until the
+        cooldown admits a half-open probe.  A successful rebuild bumps
+        the generation and therefore starts a fresh breaker.
     """
 
     backend = "process"
@@ -304,6 +337,10 @@ class ProcessParallelSpMV:
         convert_cache: ConvertCache | None = None,
         chunk_timeout: float | None = None,
         mp_context: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        deadline: Deadline | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 5.0,
         **format_kwargs,
     ):
         if nworkers < 1:
@@ -322,6 +359,15 @@ class ProcessParallelSpMV:
         self.nworkers = nworkers
         self.nthreads = nworkers  # parity with ParallelSpMV's attribute
         self.chunk_timeout = chunk_timeout
+        self.retry_policy = (
+            DEFAULT_RETRY_POLICY if retry_policy is None else retry_policy
+        )
+        self.deadline = deadline
+        self._retry_budget = self.retry_policy.new_budget()
+        self.breakers = BreakerBoard(
+            failure_threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+        )
         self._format_name = format_name
         self.partition: RowPartition = row_partition(csr.row_ptr, nworkers)
         self.store = ShardStore.build(
@@ -332,6 +378,7 @@ class ProcessParallelSpMV:
             directory=directory,
             convert_cache=convert_cache,
             boundaries=self.partition.boundaries.tolist(),
+            deadline=deadline,
             **format_kwargs,
         )
         if mp_context is None and "fork" in multiprocessing.get_all_start_methods():
@@ -398,20 +445,27 @@ class ProcessParallelSpMV:
     def _chunk_result(self, t: int, future, *, retried: bool):
         """(failure | None, status | None, needs_rotation) for one chunk."""
         lo, hi = self.partition.rows_of(t)
+        timeout = (
+            self.chunk_timeout
+            if self.deadline is None
+            else self.deadline.cap(self.chunk_timeout)
+        )
         try:
-            status = future.result(timeout=self.chunk_timeout)
+            status = future.result(timeout=timeout)
         except FuturesTimeoutError:
-            return (
-                ChunkFailure(
-                    t,
-                    lo,
-                    hi,
-                    TimeoutError(f"chunk exceeded {self.chunk_timeout}s"),
-                    retried=retried,
-                ),
-                None,
-                True,
+            failure = abandon_chunk(
+                t,
+                lo,
+                hi,
+                timeout=timeout,
+                kind="row",
+                backend=self.backend,
             )
+            if retried:
+                failure = ChunkFailure(
+                    t, lo, hi, failure.error, retried=True
+                )
+            return failure, None, True
         except BrokenProcessPool as exc:
             return (
                 ChunkFailure(
@@ -464,6 +518,8 @@ class ProcessParallelSpMV:
         """Compute ``y = A x`` across the worker processes."""
         if self._closed:
             raise StorageError("executor is closed")
+        if self.deadline is not None:
+            self.deadline.check("parallel.call")
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.ncols,):
             raise FormatError(f"x has shape {x.shape}, expected ({self.ncols},)")
@@ -492,17 +548,44 @@ class ProcessParallelSpMV:
                     retry.append((t, status))
             # Cache-invalidating retry, across the process boundary: the
             # parent rebuilds the shard (new generation, fresh bytes)
-            # and resubmits once.  Non-retryable errors fail outright.
-            resubmitted: list[tuple[int, object]] = []
+            # and resubmits -- gated by the retry policy (error class,
+            # attempts, shared budget, deadline) and by the shard
+            # generation's circuit breaker, so a shard that keeps
+            # failing at the same bytes stops burning rebuild cycles.
+            resubmitted: list[tuple[int, object, object]] = []
             for t, status in retry:
                 lo, hi = self.partition.rows_of(t)
-                if not status.get("retryable"):
+                exc = _rebuild_error(status)
+                generation = self.store.attach_spec(t)["generation"]
+                breaker = self.breakers.get(f"shard:{t}:g{generation}")
+                breaker.record_failure()
+                if not breaker.allow():
                     failures.append(
                         ChunkFailure(
                             t,
                             lo,
                             hi,
-                            _rebuild_error(status),
+                            BreakerOpenError(
+                                f"shard {t} generation {generation} breaker "
+                                f"open after repeated failures (last: "
+                                f"{type(exc).__name__}: {exc})",
+                                key=breaker.key,
+                                retry_after_s=breaker.retry_after_s(),
+                            ),
+                            retried=False,
+                            worker_traceback=status.get("traceback"),
+                        )
+                    )
+                    continue
+                if not self.retry_policy.should_retry(
+                    exc, 1, budget=self._retry_budget, deadline=self.deadline
+                ):
+                    failures.append(
+                        ChunkFailure(
+                            t,
+                            lo,
+                            hi,
+                            exc,
                             retried=False,
                             worker_traceback=status.get("traceback"),
                         )
@@ -522,19 +605,22 @@ class ProcessParallelSpMV:
                 obs.mark("executor.retry", 1, format=self._format_name)
                 try:
                     self.store.rebuild_shard(t)
-                except Exception as exc:
-                    failures.append(ChunkFailure(t, lo, hi, exc, retried=True))
+                except Exception as exc2:
+                    breaker.record_failure()
+                    failures.append(ChunkFailure(t, lo, hi, exc2, retried=True))
                     continue
-                resubmitted.append((t, self._submit(pool, t)))
-            for t, future in resubmitted:
+                resubmitted.append((t, self._submit(pool, t), breaker))
+            for t, future, breaker in resubmitted:
                 lo, hi = self.partition.rows_of(t)
                 failure, status, rotate = self._chunk_result(
                     t, future, retried=True
                 )
                 needs_rotation |= rotate
                 if failure is not None:
+                    breaker.record_failure()
                     failures.append(failure)
                 elif status is not None and not status["ok"]:
+                    breaker.record_failure()
                     failures.append(
                         ChunkFailure(
                             t,
@@ -545,6 +631,10 @@ class ProcessParallelSpMV:
                             worker_traceback=status.get("traceback"),
                         )
                     )
+                else:
+                    # The rebuilt generation works: close the breaker so
+                    # a half-open probe that succeeded re-admits traffic.
+                    breaker.record_success()
         y_view = self._y.array
         if out is not None:
             np.copyto(out, y_view)

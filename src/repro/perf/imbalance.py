@@ -96,16 +96,57 @@ class ParallelReport:
         return sum(c.total_barrier_wait_us for c in self.calls)
 
 
+def _is_abandoned(chunk: dict, abandons: list[dict]) -> bool:
+    """Was this chunk span's wait abandoned by the executor?
+
+    An abandoned chunk keeps running past its call (threads cannot be
+    cancelled), so its span ends *after* the call span and would
+    otherwise be claimed — wrongly — by a later call whose interval
+    happens to contain it.  The executor marks the abandonment with an
+    ``executor.chunk.abandoned`` counter carrying the same thread and
+    bounds; the mark's timestamp falls inside the abandoned span's
+    interval, which is the match used here.
+    """
+    attrs = chunk["attrs"]
+    start = chunk["ts_us"]
+    end = start + chunk["dur_us"]
+    for ab in abandons:
+        a = ab["attrs"]
+        if (
+            a.get("thread") == attrs.get("thread")
+            and a.get("lo") == attrs.get("lo")
+            and a.get("hi") == attrs.get("hi")
+            and start - 1e-9 <= ab["ts_us"] <= end + 1e-9
+        ):
+            return True
+    return False
+
+
 def call_balances(events: Iterable[Any]) -> list[CallBalance]:
     """Pair each ``parallel.spmv`` span with its ``parallel.chunk`` children.
 
     Chunks belong to the innermost enclosing call by time containment
     (spans are recorded at exit, so a call's chunks appear before it in
-    the stream but always inside its interval).
+    the stream but always inside its interval).  Chunks whose wait was
+    abandoned (``executor.chunk.abandoned``) are excluded entirely:
+    their span duration measures the wait bound plus however long the
+    orphaned thread kept running, not the work the partitioner
+    assigned, so folding them in would corrupt the imbalance recovery.
     """
     evs = _as_dicts(events)
     calls = [e for e in evs if e["kind"] == "span" and e["name"] == "parallel.spmv"]
-    chunks = [e for e in evs if e["kind"] == "span" and e["name"] == "parallel.chunk"]
+    abandons = [
+        e
+        for e in evs
+        if e["kind"] == "counter" and e["name"] == "executor.chunk.abandoned"
+    ]
+    chunks = [
+        e
+        for e in evs
+        if e["kind"] == "span"
+        and e["name"] == "parallel.chunk"
+        and not (abandons and _is_abandoned(e, abandons))
+    ]
     out: list[CallBalance] = []
     claimed: set[int] = set()
     # Narrower calls first, so nested/overlapping traces claim inner-most.

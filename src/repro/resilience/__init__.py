@@ -1,0 +1,46 @@
+"""Resilience layer: retry policies, deadlines, breakers, degradation.
+
+One coherent policy surface over the recovery behaviors PRs 5/7/8
+scattered across the executors and the shard store:
+
+* :mod:`repro.resilience.policy` — declarative :class:`RetryPolicy`
+  (attempts, error classes, full-jitter backoff, per-run budget) and
+  wall-clock :class:`Deadline` propagation.
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker` /
+  :class:`BreakerBoard` (closed → open → half-open with cooldown).
+* :mod:`repro.resilience.degrade` — the :class:`ResilientExecutor`
+  backend ladder ``process → thread → serial`` (+ ``mmap → mem``).
+* :mod:`repro.resilience.chaos` — fault-injection hooks for
+  ``tools/smoke_chaos.py`` (not re-exported here; import explicitly).
+"""
+
+from repro.resilience.breaker import BreakerBoard, CircuitBreaker
+from repro.resilience.degrade import (
+    BACKEND_LADDER,
+    ResilientExecutor,
+    SerialSpMV,
+    ladder_for,
+)
+from repro.resilience.policy import (
+    DEFAULT_RETRY_POLICY,
+    ERROR_CLASSES,
+    Deadline,
+    RetryBudget,
+    RetryPolicy,
+    classify_error,
+)
+
+__all__ = [
+    "BACKEND_LADDER",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "DEFAULT_RETRY_POLICY",
+    "Deadline",
+    "ERROR_CLASSES",
+    "ladder_for",
+    "ResilientExecutor",
+    "RetryBudget",
+    "RetryPolicy",
+    "SerialSpMV",
+    "classify_error",
+]

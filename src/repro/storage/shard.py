@@ -162,6 +162,7 @@ class ShardStore:
         convert_cache: ConvertCache | None = None,
         budget_bytes: int | None = None,
         boundaries=None,
+        deadline=None,
         **format_kwargs,
     ) -> "ShardStore":
         """Encode *matrix* into *nshards* row-range shards.
@@ -179,6 +180,12 @@ class ShardStore:
         store, not per shard: the manifest, fingerprints and streamed
         checkpoints all assume shard homogeneity, and a per-shard mix
         would break resume byte-identity for no modeled benefit.
+
+        ``deadline`` (a :class:`~repro.resilience.policy.Deadline`) is
+        checked between shard encodes, so a wall-clock budget set at
+        ``make_executor`` also bounds the build phase: an expired
+        budget raises :class:`~repro.errors.DeadlineExceeded` at a
+        shard boundary instead of encoding to the bitter end.
         """
         if nshards < 1:
             raise StorageError(f"nshards must be >= 1, got {nshards}")
@@ -218,6 +225,8 @@ class ShardStore:
         )
         try:
             for i in range(nshards):
+                if deadline is not None:
+                    deadline.check("storage.build")
                 lo, hi = boundaries[i], boundaries[i + 1]
                 encoded = cached_convert(
                     csr,

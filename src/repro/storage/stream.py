@@ -34,6 +34,8 @@ import numpy as np
 from repro.errors import FormatError, StorageError
 from repro.obs import core as obs
 from repro.obs.resource import rss_bytes
+from repro.resilience import chaos
+from repro.resilience.policy import DEFAULT_RETRY_POLICY, Deadline, RetryPolicy
 from repro.telemetry import core as telemetry
 
 __all__ = ["StreamResult", "streamed_spmv", "PROGRESS_NAME", "Y_PARTIAL_NAME"]
@@ -92,6 +94,8 @@ def streamed_spmv(
     *,
     checkpoint_dir: str | None = None,
     verify: bool = True,
+    retry_policy: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
 ) -> StreamResult:
     """Compute ``y = A x`` one shard at a time.
 
@@ -108,7 +112,23 @@ def streamed_spmv(
         record already present resumes the run from where it stopped.
     verify:
         Forwarded to shard attach: CRC-check every field (default on).
+    retry_policy:
+        :class:`~repro.resilience.policy.RetryPolicy` for per-shard
+        failures.  The default retries a decode-class failure (CRC
+        mismatch at attach, malformed ctl at multiply) once after
+        rebuilding the shard from the store's source matrix; a store
+        with no source (reopened from a manifest) fails with a typed
+        :class:`~repro.errors.StorageError` instead.
+    deadline:
+        Optional wall-clock :class:`~repro.resilience.policy.Deadline`
+        for the whole stream, checked at every shard boundary; expiry
+        raises :class:`~repro.errors.DeadlineExceeded` *after* the
+        last completed shard was checkpointed, so a later run resumes
+        cleanly.
     """
+    policy = DEFAULT_RETRY_POLICY if retry_policy is None else retry_policy
+    retry_budget = policy.new_budget()
+    retry_rng = policy.new_rng()
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (store.ncols,):
         raise FormatError(f"x has shape {x.shape}, expected ({store.ncols},)")
@@ -154,18 +174,55 @@ def streamed_spmv(
         "storage.stream", shards=store.nshards, resumed_from=resumed_from
     ):
         for i in range(resumed_from, store.nshards):
+            if deadline is not None:
+                deadline.check("stream.shard")
             lo, hi = store.rows_of(i)
-            shard = store.attach(i, verify=verify)
-            shard.spmv(x, out=y[lo:hi])
-            # Drop the shard before sampling so the measured peak is
-            # the streaming working set, not a pile of dead views.
-            del shard
+
+            def shard_pass(_target, i=i, lo=lo, hi=hi) -> None:
+                chaos.trip(
+                    "stream.shard",
+                    shard=i,
+                    generation=store.shards[i]["generation"],
+                )
+                shard = store.attach(i, verify=verify)
+                shard.spmv(x, out=y[lo:hi])
+                # Drop the shard before sampling so the measured peak
+                # is the streaming working set, not dead views.
+                del shard
+
+            def on_retry(exc: BaseException, attempt: int, i=i, lo=lo, hi=hi):
+                telemetry.count(
+                    "executor.retry",
+                    1,
+                    extra={
+                        "thread": i,
+                        "lo": lo,
+                        "hi": hi,
+                        "error": type(exc).__name__,
+                    },
+                    format=store.format_name,
+                )
+                obs.mark("executor.retry", 1, format=store.format_name)
+
+            policy.run(
+                shard_pass,
+                rebuild=lambda i=i: store.rebuild_shard(i),
+                budget=retry_budget,
+                deadline=deadline,
+                rng=retry_rng,
+                on_retry=on_retry,
+            )
             done_this_run += 1
             rss, _is_peak = rss_bytes()
             peak_rss = max(peak_rss, rss)
             if progress_path is not None:
                 ckpt_t0 = time.perf_counter()
                 y.flush()
+                # Chaos seam: the torn-checkpoint window.  The y
+                # partial for shard i is durable but progress.json
+                # still says i-1; a kill here must resume to a
+                # bit-identical y (shard i is simply recomputed).
+                chaos.trip("stream.checkpoint", shard=i)
                 _write_progress(
                     progress_path,
                     {"fingerprint": fingerprint, "shards_done": i + 1},

@@ -86,6 +86,32 @@ name                           kind     meaning / labels
                                         and retried after a decode failure;
                                         label ``format``; payload ``thread``,
                                         ``lo``, ``hi``, ``error``
+``executor.chunk.abandoned``   counter  chunk wait timed out and the result
+                                        was discarded (thread backends cannot
+                                        cancel the worker); labels ``kind``,
+                                        ``backend``; payload ``thread``,
+                                        ``lo``, ``hi``, ``timeout_s``.
+                                        Imbalance recovery excludes spans
+                                        matching these marks
+``resilience.breaker.open``    counter  circuit breaker tripped closed/half-
+                                        open -> open; label ``key`` (e.g.
+                                        ``shard:1:g0``, ``backend:process:
+                                        mem``); payload ``failures``
+``resilience.breaker.half_open``  counter  cooldown expired; one probe call
+                                        admitted; label ``key``
+``resilience.breaker.close``   counter  half-open probe succeeded, breaker
+                                        closed; label ``key``
+``resilience.degrade``         counter  degradation-ladder transition; label
+                                        ``format``; payload ``from_backend``,
+                                        ``from_storage``, ``to_backend``,
+                                        ``to_storage``, ``error``.  The obs
+                                        counter ``resilience.degrade.total``
+                                        mirrors it for the SLO rule engine
+``resilience.deadline.expired``  counter  a wall-clock deadline ran out;
+                                        label ``label`` (the checkpoint name,
+                                        e.g. ``parallel.call``,
+                                        ``stream.shard``); payload
+                                        ``budget_s``
 ``perf.attribution``           counter  one attribution record per bench cell;
                                         labels ``format``, ``threads``,
                                         ``placement``; numeric payload
@@ -170,6 +196,12 @@ KNOWN_EVENTS = frozenset(
         "validate",
         "kernel.fallback",
         "executor.retry",
+        "executor.chunk.abandoned",
+        "resilience.breaker.open",
+        "resilience.breaker.half_open",
+        "resilience.breaker.close",
+        "resilience.degrade",
+        "resilience.deadline.expired",
         "perf.attribution",
         "advisor.pick",
         "sim.spmv",

@@ -221,6 +221,8 @@ class TestEngine:
             "kernel-fallback",
             "executor-retry",
             "chunk-tail-latency",
+            "breaker-open",
+            "backend-degraded",
         }
         # A healthy empty snapshot fires nothing.
         engine = RuleEngine(default_rules())

@@ -1,0 +1,114 @@
+"""All thread executors drive retries through one RetryPolicy.
+
+PR 7 gave each executor its own copy-pasted retry loop; the resilience
+layer replaced them with :meth:`RetryPolicy.run`.  These tests pin the
+unified contract: defaults per executor, custom policies honored
+everywhere, and retry decisions drawn from one shared budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError, ExecutionError
+from repro.formats import CSRMatrix
+from repro.parallel import BlockParallelSpMV, ColumnParallelSpMV, ParallelSpMV
+from repro.parallel.column_executor import NO_RETRY_POLICY
+from repro.resilience.policy import DEFAULT_RETRY_POLICY, RetryPolicy
+from tests.conftest import random_sparse_dense
+
+
+@pytest.fixture(scope="module")
+def dense():
+    return random_sparse_dense(40, 40, seed=77)
+
+
+@pytest.fixture(scope="module")
+def csr(dense):
+    return CSRMatrix.from_dense(dense)
+
+
+class _TransientChunk:
+    """Fails with a decode-class error *fail_times* times, then works."""
+
+    def __init__(self, inner, fail_times=1):
+        self.inner = inner
+        # The block executor reads tile shape/nnz around the kernel call.
+        self.nnz = inner.nnz
+        self.nrows = getattr(inner, "nrows", None)
+        self.fail_times = fail_times
+        self.calls = 0
+
+    def spmv(self, x, out=None):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise EncodingError("transient decode fault")
+        return self.inner.spmv(x, out=out)
+
+
+class TestDefaults:
+    def test_row_executor_retries_decode_by_default(self, csr):
+        with ParallelSpMV(csr, 2) as p:
+            assert p.retry_policy is DEFAULT_RETRY_POLICY
+
+    def test_column_and_block_default_to_no_retries(self, csr):
+        with ColumnParallelSpMV(csr, 2) as p:
+            assert p.retry_policy is NO_RETRY_POLICY
+        with BlockParallelSpMV(csr, 2) as p:
+            assert p.retry_policy is NO_RETRY_POLICY
+        assert NO_RETRY_POLICY.max_attempts == 1
+
+
+class TestCustomPolicyHonoredEverywhere:
+    def test_column_executor_retry_recovers(self, csr, dense):
+        x = np.random.default_rng(5).random(csr.ncols)
+        policy = RetryPolicy(max_attempts=2, retry_on=("decode",))
+        with ColumnParallelSpMV(csr, 2, retry_policy=policy) as p:
+            p.chunks[1] = _TransientChunk(p.chunks[1])
+            assert np.allclose(p(x), dense @ x)
+            assert p.chunks[1].calls == 2  # one failure + one retry
+
+    def test_block_executor_retry_recovers(self, csr, dense):
+        x = np.random.default_rng(6).random(csr.ncols)
+        policy = RetryPolicy(max_attempts=2, retry_on=("decode",))
+        with BlockParallelSpMV(csr, 2, retry_policy=policy) as p:
+            rows, cols, tile = p.tiles[0][0]
+            p.tiles[0][0] = (rows, cols, _TransientChunk(tile))
+            assert np.allclose(p(x), dense @ x)
+            assert p.tiles[0][0][2].calls == 2
+
+    def test_row_executor_can_opt_out_of_retries(self, csr):
+        x = np.random.default_rng(7).random(csr.ncols)
+        with ParallelSpMV(csr, 2, retry_policy=NO_RETRY_POLICY) as p:
+            p.chunks[0] = _TransientChunk(p.chunks[0])
+            with pytest.raises(ExecutionError) as err:
+                p(x)
+        (failure,) = err.value.failures
+        assert not failure.retried
+
+    def test_non_decode_class_still_refused(self, csr):
+        # The policy's error classes gate the column executor exactly
+        # as they gate the row executor.
+        class Boom:
+            def spmv(self, x, out=None):
+                raise ValueError("caller bug")
+
+        policy = RetryPolicy(max_attempts=3, retry_on=("decode",))
+        with ColumnParallelSpMV(csr, 2, retry_policy=policy) as p:
+            p.chunks[0] = Boom()
+            with pytest.raises(ExecutionError) as err:
+                p(np.ones(csr.ncols))
+        (failure,) = err.value.failures
+        assert not failure.retried
+
+
+class TestSharedBudget:
+    def test_budget_caps_retries_across_calls(self, csr, dense):
+        x = np.random.default_rng(8).random(csr.ncols)
+        policy = RetryPolicy(max_attempts=2, retry_on=("decode",), budget=1)
+        with ColumnParallelSpMV(csr, 2, retry_policy=policy) as p:
+            good = p.chunks[1]
+            p.chunks[1] = _TransientChunk(good)
+            assert np.allclose(p(x), dense @ x)  # spends the whole budget
+            p.chunks[1] = _TransientChunk(good)
+            with pytest.raises(ExecutionError):
+                p(x)  # the executor's budget is drained

@@ -137,3 +137,63 @@ class TestRealExecutorTrace:
             assert sum(call.nnz.values()) == csr.nnz
             assert call.time_imbalance >= 1.0
             assert all(w >= 0 for w in call.barrier_wait_us.values())
+
+
+def _abandon_mark(ts, thread, lo, hi):
+    return {
+        "kind": "counter",
+        "name": "executor.chunk.abandoned",
+        "ts_us": float(ts),
+        "dur_us": 0.0,
+        "value": 1.0,
+        "thread": "w",
+        "tid": 10,
+        "depth": 0,
+        "attrs": {"thread": thread, "lo": lo, "hi": hi, "timeout_s": 0.25},
+    }
+
+
+class TestAbandonedChunkExclusion:
+    """Chunks whose wait was abandoned must not pollute the balances."""
+
+    def test_abandoned_chunk_is_dropped(self):
+        # Thread 1's chunk overran the call: span [2, 402] vs call
+        # [0, 100].  The executor marked the abandonment at t=90,
+        # inside the chunk's interval.
+        events = [
+            _span("parallel.chunk", 2, 40, tid=11, thread=0, lo=0, hi=50, nnz=600),
+            _span("parallel.chunk", 2, 400, tid=12, thread=1, lo=50, hi=100, nnz=400),
+            _abandon_mark(90, thread=1, lo=50, hi=100),
+            _span("parallel.spmv", 0, 100, tid=10, threads=2),
+        ]
+        (call,) = call_balances(events)
+        assert call.busy_us == {0: 40.0}
+        assert call.nnz == {0: 600.0}
+        assert 1 not in call.barrier_wait_us
+
+    def test_orphan_span_not_claimed_by_a_later_call(self):
+        # The orphaned chunk keeps running and its span [110, 60] lands
+        # wholly inside call 2's interval [100, 200] — without the
+        # abandon mark it would be claimed by the wrong call.
+        events = [
+            _span("parallel.chunk", 2, 40, tid=11, thread=0, lo=0, hi=50, nnz=600),
+            _span("parallel.spmv", 0, 100, tid=10, threads=2),
+            _span("parallel.chunk", 110, 60, tid=12, thread=1, lo=50, hi=100, nnz=400),
+            _abandon_mark(120, thread=1, lo=50, hi=100),
+            _span("parallel.chunk", 105, 50, tid=11, thread=0, lo=0, hi=50, nnz=600),
+            _span("parallel.spmv", 100, 100, tid=10, threads=2),
+        ]
+        first, second = call_balances(events)
+        assert first.busy_us == {0: 40.0}
+        assert second.busy_us == {0: 50.0}
+
+    def test_matching_is_exact_on_thread_and_bounds(self):
+        # A mark for *different* bounds must not erase a healthy chunk.
+        events = [
+            _span("parallel.chunk", 2, 40, tid=11, thread=0, lo=0, hi=50, nnz=600),
+            _span("parallel.chunk", 2, 80, tid=12, thread=1, lo=50, hi=100, nnz=400),
+            _abandon_mark(50, thread=1, lo=0, hi=50),
+            _span("parallel.spmv", 0, 100, tid=10, threads=2),
+        ]
+        (call,) = call_balances(events)
+        assert call.busy_us == {0: 40.0, 1: 80.0}

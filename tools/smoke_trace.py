@@ -102,6 +102,23 @@ REQUIRED_PAYLOADS: dict[str, frozenset] = {
             "phase",
         }
     ),
+    "executor.chunk.abandoned": frozenset(
+        {"thread", "lo", "hi", "timeout_s", "kind", "backend"}
+    ),
+    "resilience.breaker.open": frozenset({"key", "failures"}),
+    "resilience.breaker.half_open": frozenset({"key", "failures"}),
+    "resilience.breaker.close": frozenset({"key", "failures"}),
+    "resilience.degrade": frozenset(
+        {
+            "from_backend",
+            "from_storage",
+            "to_backend",
+            "to_storage",
+            "error",
+            "format",
+        }
+    ),
+    "resilience.deadline.expired": frozenset({"label", "budget_s"}),
 }
 
 
@@ -788,6 +805,170 @@ def check_advisor_events() -> int:
     return 0
 
 
+def check_resilience() -> int:
+    """Resilience machinery end to end; validate its events and rules.
+
+    Under a scoped collector and :class:`~repro.obs.core.ObsRuntime`
+    (stock rules):
+
+    * a :class:`~repro.resilience.breaker.CircuitBreaker` on a fake
+      clock walks closed -> open -> half-open -> closed, emitting all
+      three ``resilience.breaker.*`` transitions;
+    * a :class:`~repro.resilience.degrade.ResilientExecutor` whose
+      thread rung is persistently poisoned (chaos fault on thread 0's
+      chunk) must degrade to the serial rung, answer bit-identically,
+      and emit ``resilience.degrade``;
+    * an expired :class:`~repro.resilience.policy.Deadline` must emit
+      ``resilience.deadline.expired`` and raise the typed error;
+    * the ``breaker-open`` and ``backend-degraded`` SLO rules must fire
+      on the resulting snapshot, and every event must validate with its
+      full payload.
+    """
+    import numpy as np
+
+    from repro import obs, telemetry
+    from repro.errors import DeadlineExceeded, EncodingError
+    from repro.formats.csr import CSRMatrix
+    from repro.obs.rules import default_rules
+    from repro.resilience import chaos
+    from repro.resilience.breaker import CircuitBreaker
+    from repro.resilience.degrade import ResilientExecutor
+    from repro.resilience.policy import Deadline
+
+    rng = np.random.default_rng(43)
+    dense = (rng.random((80, 80)) < 0.1) * rng.random((80, 80))
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.random(80)
+    expected = csr.spmv(x)
+
+    runtime = obs.ObsRuntime(rules=default_rules())
+    prev_runtime = obs.set_runtime(runtime)
+    prev = telemetry.set_collector(telemetry.Collector())
+    deadline_raised = False
+    try:
+        # Breaker state machine on a fake clock: open, cool down,
+        # half-open probe, close.
+        now = [0.0]
+        breaker = CircuitBreaker(
+            "shard:0:g0",
+            failure_threshold=2,
+            cooldown_s=5.0,
+            clock=lambda: now[0],
+        )
+        breaker.record_failure()
+        breaker.record_failure()  # -> open
+        now[0] = 6.0
+        if not breaker.allow():  # -> half-open probe admitted
+            print("smoke_trace: cooled-down breaker refused its probe",
+                  file=sys.stderr)
+            return 1
+        breaker.record_success()  # -> closed
+
+        # Degradation ladder: thread rung poisoned, serial rung answers.
+        chaos.arm(
+            "thread.chunk",
+            "raise",
+            match={"thread": 0},
+            times=1000,
+            exc_factory=lambda: EncodingError("chaos: poisoned chunk"),
+        )
+        try:
+            with ResilientExecutor(
+                csr, 2, backend="thread", storage="mem", format_name="csr"
+            ) as rex:
+                got = rex(x)
+                rung = rex.active_rung
+        finally:
+            chaos.disarm_all()
+
+        # Deadline expiry on a fake clock.
+        dnow = [0.0]
+        deadline = Deadline(0.5, clock=lambda: dnow[0])
+        dnow[0] = 1.0
+        try:
+            deadline.check("smoke.check")
+        except DeadlineExceeded:
+            deadline_raised = True
+
+        runtime.flush_snapshot()
+        alerts = [a.rule for a in runtime.alerts]
+        text = runtime.render_openmetrics()
+        events = [
+            dataclasses.asdict(ev)
+            for ev in telemetry.get_collector().snapshot()
+        ]
+    finally:
+        telemetry.set_collector(prev)
+        obs.set_runtime(prev_runtime)
+        runtime.close()
+    if not np.array_equal(got, expected):
+        print("smoke_trace: degraded serial result diverged", file=sys.stderr)
+        return 1
+    if rung != ("serial", "mem"):
+        print(
+            f"smoke_trace: expected serial rung after degradation, got {rung}",
+            file=sys.stderr,
+        )
+        return 1
+    if not deadline_raised:
+        print("smoke_trace: expired deadline did not raise", file=sys.stderr)
+        return 1
+    for i, event in enumerate(events):
+        try:
+            validate_event(event)
+        except TelemetryError as exc:
+            print(
+                f"smoke_trace: resilience event {i} invalid: {exc}: {event!r}",
+                file=sys.stderr,
+            )
+            return 1
+    unknown = {e["name"] for e in events} - KNOWN_EVENTS
+    if unknown:
+        print(
+            f"smoke_trace: undocumented resilience event names "
+            f"{sorted(unknown)}",
+            file=sys.stderr,
+        )
+        return 1
+    if _check_payloads(events):
+        return 1
+    names = {e["name"] for e in events}
+    required = {
+        "resilience.breaker.open",
+        "resilience.breaker.half_open",
+        "resilience.breaker.close",
+        "resilience.degrade",
+        "resilience.deadline.expired",
+        "executor.retry",
+    }
+    missing = required - names
+    if missing:
+        print(
+            f"smoke_trace: resilience events missing {sorted(missing)}",
+            file=sys.stderr,
+        )
+        return 1
+    for rule in ("breaker-open", "backend-degraded"):
+        if rule not in alerts:
+            print(
+                f"smoke_trace: {rule} SLO rule did not fire "
+                f"(alerts: {alerts})",
+                file=sys.stderr,
+            )
+            return 1
+    if "resilience_degrade_total" not in text:
+        print(
+            "smoke_trace: OpenMetrics snapshot lacks resilience_degrade_total",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"smoke_trace: resilience check OK ({len(events)} events, "
+        f"alerts {sorted(set(alerts))})"
+    )
+    return 0
+
+
 def run(
     *,
     scale: float = 0.03125,
@@ -883,6 +1064,9 @@ def run(
         if rc:
             return rc
         rc = check_advisor_events()
+        if rc:
+            return rc
+        rc = check_resilience()
         if rc:
             return rc
         rc = check_backend_labels()
